@@ -1,0 +1,43 @@
+//! Scratch calibration dump: raw model numbers per (arch, compiler).
+use mudock_archsim::Study;
+
+fn main() {
+    let study = Study::new();
+    println!("== fig2a single-core seconds ==");
+    for p in study.fig2a() {
+        println!("{:9} {:7} {:10.2}", p.arch, p.compiler, p.value);
+    }
+    println!("== fig6 efficiency ==");
+    let m = study.fig6();
+    for (r, a) in m.archs.iter().enumerate() {
+        print!("{a:9}");
+        for c in 0..m.compilers.len() {
+            match m.eff[r][c] {
+                Some(e) => print!(" {:5.2}", e),
+                None => print!("   .  "),
+            }
+        }
+        println!();
+    }
+    println!("harmonic: {:?}", m.harmonic_means());
+    println!("== fig3 ==");
+    for p in study.fig3() {
+        println!("{:9} {:7} ratio {:5.2} speedup {:5.2}", p.arch, p.compiler, p.vec_ratio, p.speedup);
+    }
+    println!("== fig4 stalls ==");
+    for p in study.fig4() {
+        println!("{:9} {:7} {:5.2}", p.arch, p.compiler, p.value);
+    }
+    println!("== fig2b node seconds ==");
+    for p in study.fig2b() {
+        println!("{:9} {:7} {:10.2}", p.arch, p.compiler, p.value);
+    }
+    println!("== fig7 ==");
+    for p in study.fig7() {
+        println!("{:9} {:7} cost {:9.6}$ energy {:8.2} J", p.arch, p.compiler, p.cost_per_ligand, p.energy_per_ligand);
+    }
+    println!("== tables 4/5 ==");
+    for r in study.tables45() {
+        println!("{:9} llc {:9.2e} -> {:9.2e}   ai {:8.1} -> {:8.1}", r.arch, r.llc_miss_single, r.llc_miss_multi, r.ai_single, r.ai_multi);
+    }
+}

@@ -1,0 +1,335 @@
+//! Analytical throughput/latency model: converts a workload's operation
+//! mix plus a (compiler, architecture) codegen description and a cache
+//! simulation into execution-time, stall, vectorization-ratio, FLOP and
+//! energy estimates.
+//!
+//! Model structure (each term is first-order and documented):
+//!
+//! * **compute** — per kernel, issue-slot counts divided by
+//!   `pipes × effective lanes`; gathers never amortize with width (they
+//!   issue per element on every ISA here); the `exp` op expands to
+//!   polynomial (≈13 slots), FEXPA (≈2), or an unvectorized libm call
+//!   (≈30 scalar slots) depending on codegen — the paper's decisive math
+//!   library axis.
+//! * **memory** — per-level miss counts from the trace-driven cache
+//!   simulator × next-level latencies, divided by an MLP factor bounded
+//!   by ROB size (the Table II resource that separates A64FX from the
+//!   rest).
+//! * **latency exposure** — small-ROB cores cannot hide long FP
+//!   dependency chains; calibrated so A64FX shows the paper's ≈70 % stall
+//!   fraction (Figure 4).
+
+use crate::arch::ArchConfig;
+use crate::cache::CacheOutcome;
+use crate::compiler::Codegen;
+use crate::opmix::{
+    KernelMix, GA_PER_GENE, INTER_PER_ATOM, INTRA_PER_PAIR, TRANSFORM_RIGID_PER_ATOM,
+    TRANSFORM_TORSION_PER_ATOM,
+};
+use crate::workload::Workload;
+
+/// Issue-slot cost of one exponential by implementation.
+pub const EXP_SLOTS_POLY: f64 = 13.0;
+pub const EXP_SLOTS_FEXPA: f64 = 2.0;
+pub const EXP_SLOTS_LIBM: f64 = 30.0;
+
+/// FLOPs credited per exponential by implementation (matches what a
+/// hardware FLOP counter would see).
+pub const EXP_FLOPS_POLY: f64 = 13.0;
+pub const EXP_FLOPS_FEXPA: f64 = 2.0;
+pub const EXP_FLOPS_LIBM: f64 = 25.0;
+
+/// Per-kernel model output.
+#[derive(Clone, Debug)]
+pub struct KernelEstimate {
+    pub name: &'static str,
+    /// Lanes the emitted code uses for this kernel (1 = scalar).
+    pub lanes: usize,
+    pub compute_cycles: f64,
+    pub vector_instrs: f64,
+    pub scalar_instrs: f64,
+    pub flops: f64,
+}
+
+/// Model output for one ligand's docking run on one core.
+#[derive(Clone, Debug)]
+pub struct RunEstimate {
+    pub seconds_per_ligand: f64,
+    pub cycles_per_ligand: f64,
+    pub compute_cycles: f64,
+    pub mem_stall_cycles: f64,
+    pub latency_stall_cycles: f64,
+    /// Fraction of cycles not doing useful issue (Figure 4's metric).
+    pub stall_frac: f64,
+    /// Vector instructions / all instructions (Figure 3's metric).
+    pub vec_ratio: f64,
+    pub flops_per_ligand: f64,
+    pub dram_bytes_per_ligand: f64,
+    pub kernels: Vec<KernelEstimate>,
+}
+
+impl RunEstimate {
+    /// Attained GFLOP/s for one core.
+    pub fn gflops(&self) -> f64 {
+        self.flops_per_ligand / self.seconds_per_ligand / 1e9
+    }
+
+    /// Arithmetic intensity between LLC and DRAM (Table V's metric).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes_per_ligand > 0.0 {
+            self.flops_per_ligand / self.dram_bytes_per_ligand
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Kernels and their per-ligand element counts for a workload.
+fn kernel_elements(wl: &Workload) -> Vec<(KernelMix, f64)> {
+    let poses = wl.poses_per_ligand;
+    vec![
+        (INTRA_PER_PAIR, wl.pairs * poses),
+        (INTER_PER_ATOM, wl.atoms * poses),
+        (TRANSFORM_RIGID_PER_ATOM, wl.atoms * poses),
+        (TRANSFORM_TORSION_PER_ATOM, wl.atoms * wl.torsions * poses),
+        (GA_PER_GENE, wl.genes * poses),
+    ]
+}
+
+/// Estimate one ligand's docking on a single core of `arch` compiled per
+/// `cg`, with the memory behaviour of `cache` (a single-core or per-core
+/// multi-core cache outcome over `wl`'s trace).
+pub fn estimate(arch: &ArchConfig, cg: &Codegen, wl: &Workload, cache: &CacheOutcome) -> RunEstimate {
+    let exec_lanes = arch.exec_lanes().max(1);
+    let pipes = arch.vec_pipes.max(1) as f64;
+
+    let mut kernels = Vec::new();
+    let mut compute_cycles = 0.0;
+    let mut vector_instrs = 0.0;
+    let mut scalar_instrs = 0.0;
+    let mut flops = 0.0;
+    let mut total_issue_instrs = 0.0;
+
+    for (k, elements) in kernel_elements(wl) {
+        // GA control flow never vectorizes; math-bearing kernels only
+        // vectorize when the codegen has vector math.
+        let emitted_lanes = if k.name == "ga" || (k.contains_exp && !cg.math_vectorized) {
+            1
+        } else {
+            (cg.vec_bits / 32).max(1)
+        };
+        let eff_lanes = emitted_lanes.min(exec_lanes).max(1) as f64;
+
+        let mix = k.per_element.scaled(elements);
+        let (exp_slots, exp_flops) = if emitted_lanes == 1 && k.contains_exp {
+            (EXP_SLOTS_LIBM, EXP_FLOPS_LIBM)
+        } else if cg.fexpa {
+            (EXP_SLOTS_FEXPA, EXP_FLOPS_FEXPA)
+        } else {
+            (EXP_SLOTS_POLY, EXP_FLOPS_POLY)
+        };
+
+        let issue_slots = mix.issue_slots(cg.fma) + mix.exp * exp_slots;
+        let fp_cycles = issue_slots / (pipes * eff_lanes);
+        // Gathers sustain a few elements per cycle on wide machines
+        // (hardware vpgatherdps / SVE gathers) but never amortize like
+        // contiguous loads; scalar code gets the two load ports.
+        let gather_rate = (eff_lanes.min(4.0)).max(2.0);
+        let ld_cycles =
+            mix.load / eff_lanes / 2.0 + mix.gather / gather_rate + mix.store / eff_lanes;
+        let int_cycles = mix.int_ops / (2.0 * eff_lanes);
+        let k_compute = fp_cycles.max(ld_cycles).max(int_cycles);
+
+        let instr_estimate =
+            (issue_slots + mix.load + mix.store + mix.gather + mix.int_ops) / eff_lanes;
+        // The paper scopes the vectorization ratio to the docking kernels
+        // (LIKWID markers); GA bookkeeping sits outside the markers.
+        if k.name != "ga" {
+            if emitted_lanes > 1 {
+                vector_instrs += instr_estimate;
+            } else {
+                scalar_instrs += instr_estimate;
+            }
+        }
+        let k_flops = mix.flops(exp_flops);
+        flops += k_flops;
+        compute_cycles += k_compute;
+        // Latency exposure is per *instruction*: vector code retires the
+        // same work in fewer, wider instructions.
+        total_issue_instrs += issue_slots / eff_lanes;
+
+        kernels.push(KernelEstimate {
+            name: k.name,
+            lanes: emitted_lanes,
+            compute_cycles: k_compute,
+            vector_instrs: if emitted_lanes > 1 { instr_estimate } else { 0.0 },
+            scalar_instrs: if emitted_lanes > 1 { 0.0 } else { instr_estimate },
+            flops: k_flops,
+        });
+    }
+
+    // ---- memory stalls from the cache simulation ------------------------
+    // The trace covers `trace_poses` poses; scale to the full schedule.
+    let scale = wl.poses_per_ligand / wl.trace_poses as f64;
+    let mut stall_raw = 0.0;
+    for (li, level) in cache.levels.iter().enumerate() {
+        let next_lat = if li + 1 < arch.caches.len() {
+            arch.caches[li + 1].latency_cycles as f64
+        } else {
+            arch.mem_lat_cycles() as f64
+        };
+        stall_raw += level.misses as f64 * next_lat;
+    }
+    // Normalize by the number of cores that contributed to the outcome
+    // (multi-core replays aggregate all cores' accesses).
+    let cores_in_outcome =
+        (cache.total_accesses as f64 / (wl.traces[0].len() as f64 * 24.0)).max(1.0);
+    let mlp = (arch.rob as f64 / 96.0).clamp(1.0, 8.0);
+    // Hardware prefetchers hide roughly half of the miss latency on the
+    // semi-regular trilinear access streams.
+    const PREFETCH_FACTOR: f64 = 0.5;
+    let mem_stall_cycles = stall_raw / cores_in_outcome * scale / mlp * PREFETCH_FACTOR;
+    // Real machines never reach zero DRAM traffic even when the LRU model
+    // says the working set fits: TLB walks, conflict evictions and
+    // coherence noise leak ~1 % of the demand volume (documented
+    // calibration; keeps arithmetic intensity finite as in Table V).
+    let demand_bytes = wl.accesses_per_pose() * wl.poses_per_ligand * 4.0;
+    let dram_bytes_per_ligand =
+        (cache.dram_bytes as f64 / cores_in_outcome * scale).max(0.01 * demand_bytes);
+
+    // ---- latency exposure on small-ROB cores ----------------------------
+    // Long FP chains (exp polynomials, Newton steps) stall when the OoO
+    // window cannot cover them; coefficient calibrated to the paper's
+    // Figure 4 (A64FX ≈ 70 % stalls, larger-ROB cores far less).
+    let rob_deficit = ((256.0 - arch.rob as f64) / 256.0).max(0.0);
+    let latency_stall_cycles = total_issue_instrs * rob_deficit * 2.0;
+
+    // Frontend/branch overhead floor: even well-fed pipelines lose some
+    // issue slots (paper Figure 4 shows nonzero stalls everywhere).
+    let frontend_cycles = 0.15 * compute_cycles;
+    let overlap = 0.2 * compute_cycles.min(mem_stall_cycles);
+    let cycles =
+        compute_cycles.max(mem_stall_cycles) + overlap + latency_stall_cycles + frontend_cycles;
+    let seconds = cycles / (arch.sustained_ghz as f64 * 1e9) / cg.tuning as f64;
+
+    RunEstimate {
+        seconds_per_ligand: seconds,
+        cycles_per_ligand: cycles,
+        compute_cycles,
+        mem_stall_cycles,
+        latency_stall_cycles,
+        stall_frac: ((cycles - compute_cycles) / cycles).clamp(0.0, 1.0),
+        vec_ratio: vector_instrs / (vector_instrs + scalar_instrs).max(1.0),
+        flops_per_ligand: flops,
+        dram_bytes_per_ligand,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::compiler::{self, CLANG, GCC, HWY};
+    use crate::workload;
+
+    fn wl() -> Workload {
+        workload::reduced_workload()
+    }
+
+    fn single_core_cache(a: &ArchConfig, w: &Workload) -> CacheOutcome {
+        workload::replay(a, w, 1)
+    }
+
+    #[test]
+    fn wider_vectors_are_faster_on_spr() {
+        let a = arch::spr();
+        let w = wl();
+        let cache = single_core_cache(&a, &w);
+        let hwy = estimate(&a, &compiler::codegen(&HWY, &a).unwrap(), &w, &cache);
+        let clang = estimate(&a, &compiler::codegen(&CLANG, &a).unwrap(), &w, &cache);
+        // HWY emits 512-bit, Clang 256-bit: HWY must win on SPR (paper
+        // Section VIII-a).
+        assert!(
+            hwy.seconds_per_ligand < clang.seconds_per_ligand,
+            "hwy {} vs clang {}",
+            hwy.seconds_per_ligand,
+            clang.seconds_per_ligand
+        );
+    }
+
+    #[test]
+    fn missing_vector_math_is_catastrophic_on_arm() {
+        let a = arch::grace();
+        let w = wl();
+        let cache = single_core_cache(&a, &w);
+        let gcc = estimate(&a, &compiler::codegen(&GCC, &a).unwrap(), &w, &cache);
+        let clang = estimate(&a, &compiler::codegen(&CLANG, &a).unwrap(), &w, &cache);
+        assert!(
+            gcc.seconds_per_ligand > 1.5 * clang.seconds_per_ligand,
+            "gcc {} vs clang {}",
+            gcc.seconds_per_ligand,
+            clang.seconds_per_ligand
+        );
+        // And its vectorization ratio collapses (Figure 3).
+        assert!(gcc.vec_ratio < 0.5);
+        assert!(clang.vec_ratio > 0.8);
+    }
+
+    #[test]
+    fn a64fx_stall_fraction_dominates() {
+        let w = wl();
+        let a64 = arch::a64fx();
+        let cache_a = single_core_cache(&a64, &w);
+        let est_a = estimate(&a64, &compiler::codegen(&CLANG, &a64).unwrap(), &w, &cache_a);
+        for other in [arch::spr(), arch::grace()] {
+            let cache_o = single_core_cache(&other, &w);
+            let est_o = estimate(&other, &compiler::codegen(&CLANG, &other).unwrap(), &w, &cache_o);
+            assert!(
+                est_a.stall_frac > est_o.stall_frac,
+                "A64FX {} vs {} {}",
+                est_a.stall_frac,
+                other.key,
+                est_o.stall_frac
+            );
+        }
+        // Paper Figure 4: ≈70 % of A64FX cycles are stalls.
+        assert!(
+            (0.5..0.9).contains(&est_a.stall_frac),
+            "A64FX stall fraction {}",
+            est_a.stall_frac
+        );
+    }
+
+    #[test]
+    fn speedup_against_novec_baseline() {
+        // Vectorized code beats the no-vectorization baseline everywhere;
+        // by more on 512-bit machines than on 128-bit ones (Figure 3).
+        let w = wl();
+        let spr = arch::spr();
+        let grace = arch::grace();
+        let cache_s = single_core_cache(&spr, &w);
+        let cache_g = single_core_cache(&grace, &w);
+        let s_cg = compiler::codegen(&HWY, &spr).unwrap();
+        let s_vec = estimate(&spr, &s_cg, &w, &cache_s);
+        let s_novec = estimate(&spr, &compiler::novec_baseline(&spr, &s_cg), &w, &cache_s);
+        let g_cg = compiler::codegen(&CLANG, &grace).unwrap();
+        let g_vec = estimate(&grace, &g_cg, &w, &cache_g);
+        let g_novec = estimate(&grace, &compiler::novec_baseline(&grace, &g_cg), &w, &cache_g);
+        let s_speedup = s_novec.seconds_per_ligand / s_vec.seconds_per_ligand;
+        let g_speedup = g_novec.seconds_per_ligand / g_vec.seconds_per_ligand;
+        assert!(s_speedup > 1.5, "SPR speedup {s_speedup}");
+        assert!(g_speedup > 1.2, "Grace speedup {g_speedup}");
+    }
+
+    #[test]
+    fn flops_and_ai_are_positive() {
+        let a = arch::spr();
+        let w = wl();
+        let cache = single_core_cache(&a, &w);
+        let e = estimate(&a, &compiler::codegen(&CLANG, &a).unwrap(), &w, &cache);
+        assert!(e.gflops() > 0.0);
+        assert!(e.arithmetic_intensity() > 1.0, "docking is compute-dense");
+        assert_eq!(e.kernels.len(), 5);
+    }
+}

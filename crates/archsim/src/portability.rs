@@ -1,0 +1,113 @@
+//! Performance-portability metric (Pennycook, Sewall & Lee) — the paper's
+//! Figure 6: application efficiency per (architecture, compiler), and the
+//! harmonic mean across architectures, with 0 for toolchains that cannot
+//! target the whole platform set.
+
+/// Application-efficiency matrix.
+#[derive(Clone, Debug)]
+pub struct PortabilityMatrix {
+    /// Architecture keys (rows).
+    pub archs: Vec<String>,
+    /// Compiler keys (columns).
+    pub compilers: Vec<String>,
+    /// `eff[row][col]`: best-time-on-arch / time, `None` where the
+    /// combination does not exist.
+    pub eff: Vec<Vec<Option<f64>>>,
+}
+
+impl PortabilityMatrix {
+    /// Build from raw execution times (`None` = unavailable).
+    pub fn from_times(
+        archs: Vec<String>,
+        compilers: Vec<String>,
+        times: &[Vec<Option<f64>>],
+    ) -> PortabilityMatrix {
+        assert_eq!(times.len(), archs.len());
+        let mut eff = Vec::with_capacity(times.len());
+        for row in times {
+            assert_eq!(row.len(), compilers.len());
+            let best = row
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            eff.push(
+                row.iter()
+                    .map(|t| t.map(|t| best / t))
+                    .collect::<Vec<Option<f64>>>(),
+            );
+        }
+        PortabilityMatrix { archs, compilers, eff }
+    }
+
+    /// Pennycook harmonic-mean performance portability of one compiler:
+    /// `|H| / Σ 1/eff` over all architectures, and **0** if the compiler
+    /// is missing on any architecture (the paper's treatment of vendor
+    /// compilers).
+    pub fn harmonic_mean(&self, compiler_idx: usize) -> f64 {
+        let mut inv_sum = 0.0;
+        for row in &self.eff {
+            match row[compiler_idx] {
+                Some(e) if e > 0.0 => inv_sum += 1.0 / e,
+                _ => return 0.0,
+            }
+        }
+        self.archs.len() as f64 / inv_sum
+    }
+
+    /// All harmonic means, one per compiler.
+    pub fn harmonic_means(&self) -> Vec<f64> {
+        (0..self.compilers.len())
+            .map(|c| self.harmonic_mean(c))
+            .collect()
+    }
+
+    /// Efficiency for named (arch, compiler), if present.
+    pub fn get(&self, arch: &str, compiler: &str) -> Option<f64> {
+        let r = self.archs.iter().position(|a| a == arch)?;
+        let c = self.compilers.iter().position(|x| x == compiler)?;
+        self.eff[r][c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> PortabilityMatrix {
+        // 2 archs × 3 compilers; compiler "v" missing on arch B.
+        PortabilityMatrix::from_times(
+            vec!["A".into(), "B".into()],
+            vec!["x".into(), "y".into(), "v".into()],
+            &[
+                vec![Some(10.0), Some(20.0), Some(10.0)],
+                vec![Some(40.0), Some(15.0), None],
+            ],
+        )
+    }
+
+    #[test]
+    fn efficiency_normalizes_to_row_best() {
+        let m = matrix();
+        assert_eq!(m.get("A", "x"), Some(1.0));
+        assert_eq!(m.get("A", "y"), Some(0.5));
+        assert_eq!(m.get("B", "y"), Some(1.0));
+        assert_eq!(m.get("B", "x"), Some(0.375));
+        assert_eq!(m.get("B", "v"), None);
+    }
+
+    #[test]
+    fn harmonic_mean_and_unavailability() {
+        let m = matrix();
+        // x: eff 1.0 and 0.375 → H = 2 / (1 + 8/3) = 6/11.
+        assert!((m.harmonic_mean(0) - 6.0 / 11.0).abs() < 1e-12);
+        // v is missing on B → 0 (paper's convention for vendor compilers).
+        assert_eq!(m.harmonic_mean(2), 0.0);
+    }
+
+    #[test]
+    fn best_compiler_scores_higher() {
+        let m = matrix();
+        let h = m.harmonic_means();
+        assert!(h[1] > h[0], "y is best on B and half on A");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion: a full GA generation (scoring a population) per backend —
+//! the per-generation unit of Figure 2's execution times.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_bench::HostWorkload;
+use mudock_core::{Backend, DockingEngine};
+use mudock_mol::ConformSoA;
+
+fn bench_generation(c: &mut Criterion) {
+    let wl = HostWorkload::standard(50);
+    let engine = DockingEngine::new(&wl.grids).unwrap();
+    let mut scratch = ConformSoA::with_capacity(wl.prep.base.n);
+    let mut g = c.benchmark_group("ga_generation");
+    g.throughput(Throughput::Elements(wl.poses.len() as u64));
+    for backend in Backend::available() {
+        g.bench_with_input(
+            BenchmarkId::new("score_population", backend.name()),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut total = 0.0f32;
+                    for pose in &wl.poses {
+                        total += engine.score(&wl.prep, pose, &mut scratch, backend);
+                    }
+                    criterion::black_box(total)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: AutoGrid-style map precomputation, scalar vs SIMD builders.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_ff::AtomType;
+use mudock_grids::{GridBuilder, GridDims};
+use mudock_mol::Vec3;
+use mudock_simd::SimdLevel;
+
+fn bench_build(c: &mut Criterion) {
+    let receptor = mudock_molio::synthetic_receptor(3, 180, 8.5);
+    let dims = GridDims::centered(Vec3::ZERO, 6.0, 0.75);
+    let types = [AtomType::C, AtomType::OA, AtomType::HD, AtomType::N];
+    let mut g = c.benchmark_group("grid_build");
+    g.throughput(Throughput::Elements(dims.total() as u64));
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let gs = GridBuilder::new(&receptor, dims)
+                .with_types(&types)
+                .build_scalar();
+            criterion::black_box(gs.data.len())
+        })
+    });
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                let gs = GridBuilder::new(&receptor, dims)
+                    .with_types(&types)
+                    .build_simd(level);
+                criterion::black_box(gs.data.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(2000)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: the memory-bound inter-energy kernel (grid lookups) across
+//! backends.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_core::scoring::{inter_energy_reference, inter_energy_simd};
+use mudock_bench::HostWorkload;
+use mudock_mol::ConformSoA;
+use mudock_simd::SimdLevel;
+
+fn bench_inter(c: &mut Criterion) {
+    let wl = HostWorkload::standard(1);
+    let conf = ConformSoA::from_molecule(&wl.prep.mol);
+    let st = &wl.prep.statics;
+    let mut g = c.benchmark_group("inter_energy");
+    g.throughput(Throughput::Elements(conf.n as u64));
+    g.bench_function("reference-trilinear", |b| {
+        b.iter(|| criterion::black_box(inter_energy_reference(&wl.grids, &conf, st)))
+    });
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
+            b.iter(|| criterion::black_box(inter_energy_simd(level, &wl.grids, &conf, st)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(1200)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_inter
+}
+criterion_main!(benches);

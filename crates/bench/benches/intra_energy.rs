@@ -1,0 +1,36 @@
+//! Criterion: the compute-bound intra-energy kernel (Algorithm 2, lines
+//! 10–16) across backends.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_core::scoring::{intra_energy_reference, intra_energy_simd, PairsSoA};
+use mudock_core::LigandPrep;
+use mudock_ff::params::PairTable;
+use mudock_mol::ConformSoA;
+use mudock_simd::SimdLevel;
+
+fn bench_intra(c: &mut Criterion) {
+    let lig = mudock_molio::synthetic_ligand(
+        11,
+        mudock_molio::LigandSpec { heavy_atoms: 35, torsions: 7 },
+    );
+    let prep = LigandPrep::new(lig).unwrap();
+    let conf = ConformSoA::from_molecule(&prep.mol);
+    let pairs = PairsSoA::build(&prep.mol, &prep.topo, &PairTable::new());
+    let mut g = c.benchmark_group("intra_energy");
+    g.throughput(Throughput::Elements(pairs.n as u64));
+    g.bench_function("reference-libm", |b| {
+        b.iter(|| criterion::black_box(intra_energy_reference(&conf, &pairs)))
+    });
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
+            b.iter(|| criterion::black_box(intra_energy_simd(level, &conf, &pairs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(1200)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_intra
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: vector math kernels (exp, rsqrt) per SIMD level — the
+//! "vectorized math library" microbenchmark.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_simd::{ops, SimdLevel};
+
+fn bench_exp(c: &mut Criterion) {
+    let n = 4096usize;
+    let xs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.013) % 18.0 - 9.0).collect();
+    let mut out = vec![0.0f32; n];
+    let mut g = c.benchmark_group("exp");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("libm", |b| {
+        b.iter(|| {
+            for (o, &x) in out.iter_mut().zip(&xs) {
+                *o = x.exp();
+            }
+            criterion::black_box(&mut out);
+        })
+    });
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("poly", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                ops::exp_slice(level, &xs, &mut out);
+                criterion::black_box(&mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsqrt(c: &mut Criterion) {
+    let n = 4096usize;
+    let xs: Vec<f32> = (1..=n).map(|i| i as f32 * 0.37).collect();
+    let mut out = vec![0.0f32; n];
+    let mut g = c.benchmark_group("rsqrt");
+    g.throughput(Throughput::Elements(n as u64));
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("nr", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                ops::rsqrt_slice(level, &xs, &mut out);
+                criterion::black_box(&mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(1200)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_exp, bench_rsqrt
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: the pose transform (Algorithm 1) across backends.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mudock_core::transform::{apply_pose_reference, apply_pose_simd};
+use mudock_core::{Genotype, LigandPrep};
+use mudock_mol::{ConformSoA, Vec3};
+use mudock_simd::SimdLevel;
+
+fn bench_transform(c: &mut Criterion) {
+    let lig = mudock_molio::synthetic_ligand(
+        13,
+        mudock_molio::LigandSpec { heavy_atoms: 35, torsions: 8 },
+    );
+    let prep = LigandPrep::new(lig).unwrap();
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(5);
+    let g_pose = Genotype::random(&mut rng, prep.n_torsions(), Vec3::ZERO, 5.0);
+    let mut out = ConformSoA::with_capacity(prep.base.n);
+    let mut g = c.benchmark_group("transform");
+    g.throughput(Throughput::Elements(prep.base.n as u64));
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            apply_pose_reference(&prep.base, &prep.plans, &g_pose, &mut out);
+            criterion::black_box(&mut out);
+        })
+    });
+    for level in SimdLevel::available() {
+        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                apply_pose_simd(level, &prep.base, &prep.plans, &g_pose, &mut out);
+                criterion::black_box(&mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(1200)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_transform
+}
+criterion_main!(benches);

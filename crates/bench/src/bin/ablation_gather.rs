@@ -1,0 +1,56 @@
+//! Ablation: the memory-lookup pattern in isolation (paper Section V).
+//!
+//! The inter-energy kernel is "frequent lookups into large constant data
+//! structures". This binary sweeps the lookup-table size across the cache
+//! hierarchy and measures gather throughput per SIMD level — the
+//! transition from L1-resident to DRAM-resident tables is exactly the
+//! memory-bound behaviour Tables IV/V quantify on the real machines.
+
+use std::time::Instant;
+
+use mudock_simd::{ops, SimdLevel};
+
+fn main() {
+    let n_idx = 8 * 1024;
+    println!("ABLATION: gather throughput vs table size ({n_idx} gathers/eval)\n");
+    println!(
+        "{:>12} {}",
+        "table",
+        SimdLevel::available()
+            .iter()
+            .map(|l| format!("{:>12}", l.name()))
+            .collect::<String>()
+    );
+
+    // 16 KiB (L1) → 64 MiB (DRAM-ish).
+    for size_kib in [16usize, 128, 1024, 8 * 1024, 64 * 1024] {
+        let table_len = size_kib * 1024 / 4;
+        let table: Vec<f32> = (0..table_len).map(|i| (i % 97) as f32).collect();
+        // Pseudo-random full-range index pattern (defeats prefetch).
+        let idx: Vec<i32> = (0..n_idx)
+            .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9) % table_len as u64) as i32)
+            .collect();
+        let mut row = format!("{:>9} KiB", size_kib);
+        for level in SimdLevel::available() {
+            let reps = 400;
+            let mut sink = 0.0f32;
+            for _ in 0..20 {
+                sink += ops::gather_sum(level, &table, &idx);
+            }
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                sink += ops::gather_sum(level, &table, &idx);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(sink);
+            let ns = dt / (reps as f64 * n_idx as f64) * 1e9;
+            row.push_str(&format!("{:>9.2} ns", ns));
+        }
+        println!("{row}");
+    }
+
+    println!("\nExpected shape: SIMD width helps while the table is cache-resident");
+    println!("(compute-bound gathers), then all levels converge to memory latency —");
+    println!("the same crossover the paper's inter-energy kernel hits when the grid");
+    println!("maps outgrow the LLC (Tables IV/V, Genoa multi-core).");
+}

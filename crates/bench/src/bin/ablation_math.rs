@@ -1,0 +1,63 @@
+//! Ablation: the vectorized-math-library effect (paper Sections VII-c,
+//! VIII-a).
+//!
+//! The single biggest portability cliff in the paper is whether `expf`
+//! vectorizes. This binary isolates it: a batch of exponentials through
+//! (a) scalar libm (`f32::exp` — what GCC emits on ARM without a
+//! vectorized GLIBC), (b) the inlinable polynomial at one lane (what the
+//! compiler can auto-vectorize), and (c) the explicit vector polynomial at
+//! every width (libmvec/ArmPL/Highway's role).
+
+use std::time::Instant;
+
+use mudock_simd::{ops, SimdLevel};
+
+fn main() {
+    let n = 16 * 1024;
+    let xs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01) % 20.0 - 10.0).collect();
+    let mut out = vec![0.0f32; n];
+    let reps = 2000;
+
+    let time = |f: &mut dyn FnMut()| {
+        for _ in 0..50 {
+            f(); // warm-up
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / (reps as f64 * n as f64)
+    };
+
+    println!("ABLATION: exponential implementations ({n} elements per eval)\n");
+
+    let t_libm = time(&mut || {
+        for (o, &x) in out.iter_mut().zip(&xs) {
+            *o = x.exp();
+        }
+        std::hint::black_box(&mut out);
+    });
+    println!(
+        "{:24} {:8.3} ns/exp  (baseline: scalar libm call)",
+        "libm f32::exp", t_libm * 1e9
+    );
+
+    for level in SimdLevel::available() {
+        let t = time(&mut || {
+            ops::exp_slice(level, &xs, &mut out);
+            std::hint::black_box(&mut out);
+        });
+        println!(
+            "{:24} {:8.3} ns/exp  ({:5.2}x)",
+            format!("polynomial @ {level}"),
+            t * 1e9,
+            t_libm / t
+        );
+    }
+
+    println!("\nExpected shape: at one lane the polynomial roughly matches the libm");
+    println!("call, but unlike libm it vectorizes: each doubling of width");
+    println!("multiplies throughput — the portability cliff the paper pins on");
+    println!("missing vector math libraries. (A64FX's FEXPA would shrink the");
+    println!("polynomial to ~2 ops; modeled in mudock-archsim.)");
+}

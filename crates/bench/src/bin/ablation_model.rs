@@ -1,0 +1,66 @@
+//! Ablation: sensitivity of the architecture model to the design
+//! parameters DESIGN.md calls out — ROB size (the A64FX stall mechanism),
+//! vector width (the SPR cost-model story), and LLC capacity (the
+//! Table IV working-set story). Each sweep perturbs one parameter of a
+//! real architecture config and re-runs the pipeline model on the same
+//! workload trace.
+
+use mudock_archsim::{arch, codegen, compiler, estimate, reduced_workload, workload};
+
+fn main() {
+    println!("building workload trace (runs real docking)…\n");
+    let wl = reduced_workload();
+
+    // ---- Sweep 1: ROB size on an A64FX-like core -----------------------
+    println!("SWEEP 1: reorder-buffer size on A64FX (Clang codegen)");
+    println!("{:>8} {:>12} {:>12}", "ROB", "time (s)", "stall frac");
+    for rob in [64usize, 128, 192, 256, 320, 512] {
+        let mut a = arch::a64fx();
+        a.rob = rob;
+        let cache = workload::replay(&a, &wl, 1);
+        let cg = codegen(&compiler::CLANG, &a).unwrap();
+        let est = estimate(&a, &cg, &wl, &cache);
+        println!(
+            "{:>8} {:>12.3} {:>12.2}",
+            rob,
+            est.seconds_per_ligand * wl.ligands as f64,
+            est.stall_frac
+        );
+    }
+    println!("expected: stalls collapse once the ROB covers the FP chains (~256) —");
+    println!("the paper's Table II explanation for A64FX's 70 % stall fraction.\n");
+
+    // ---- Sweep 2: emitted vector width on SPR ---------------------------
+    println!("SWEEP 2: emitted vector width on SPR (the cost-model cap)");
+    println!("{:>8} {:>12}", "bits", "time (s)");
+    let spr = arch::spr();
+    let cache = workload::replay(&spr, &wl, 1);
+    let base = codegen(&compiler::CLANG, &spr).unwrap();
+    for bits in [32usize, 128, 256, 512] {
+        let mut cg = base;
+        cg.vec_bits = bits;
+        let est = estimate(&spr, &cg, &wl, &cache);
+        println!("{:>8} {:>12.3}", bits, est.seconds_per_ligand * wl.ligands as f64);
+    }
+    println!("expected: 256→512 still pays (HWY's win over Clang/GCC on SPR),");
+    println!("with diminishing returns as gathers become the bottleneck.\n");
+
+    // ---- Sweep 3: LLC capacity under the docking working set ------------
+    println!("SWEEP 3: LLC capacity (A64FX CMG geometry, multi-core replay)");
+    println!("{:>10} {:>14} {:>14}", "LLC (MiB)", "llc miss rate", "dram MB/core");
+    for mib in [4usize, 8, 16, 32, 64] {
+        let mut a = arch::a64fx();
+        let last = a.caches.len() - 1;
+        a.caches[last].size_kib = mib * 1024;
+        let cores = a.llc().shared_by;
+        let out = workload::replay(&a, &wl, cores);
+        println!(
+            "{:>10} {:>14.3e} {:>14.2}",
+            mib,
+            out.llc_miss_rate(),
+            out.dram_bytes as f64 / cores as f64 / 1e6
+        );
+    }
+    println!("expected: the miss rate falls off a cliff once the shared maps fit —");
+    println!("the capacity knee behind Table IV's architecture ordering.");
+}

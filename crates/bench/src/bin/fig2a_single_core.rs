@@ -1,0 +1,8 @@
+//! Regenerates Figure 2a (single-core execution time, reduced dataset)
+//! and prints the real host backend measurements alongside the model.
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig2a(&study);
+    mudock_bench::report::host_backends(400);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2b (full-node execution time, MEDIATE-like set).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig2b(&study);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (vectorization ratio and speedup).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig3(&study);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (pipeline stalls vs useful work).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig4(&study);
+}

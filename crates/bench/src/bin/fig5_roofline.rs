@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (per-architecture rooflines with kernel points).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig5(&study);
+}

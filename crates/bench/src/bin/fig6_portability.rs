@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (performance-portability matrix + harmonic mean).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig6(&study);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (cost and energy per evaluated ligand).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::fig7(&study);
+}

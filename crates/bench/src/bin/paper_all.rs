@@ -1,0 +1,25 @@
+//! Regenerates every table and figure of the paper in one run
+//! (CSV copies land under `results/`).
+use mudock_archsim::Study;
+use mudock_bench::report;
+
+fn main() {
+    println!("=== mudock-rs: reproducing every table & figure (CLUSTER 2025) ===\n");
+    report::table1();
+    report::table2();
+    report::table3();
+    println!("Building the cross-architecture study (runs real docking on this host)…\n");
+    let study = Study::new();
+    assert_eq!(report::coverage(&study), 19, "19 (arch, compiler) pairs as in the paper");
+    report::table4(&study);
+    report::table5(&study);
+    report::fig2a(&study);
+    report::fig2b(&study);
+    report::fig3(&study);
+    report::fig4(&study);
+    report::fig5(&study);
+    report::fig6(&study);
+    report::fig7(&study);
+    report::host_backends(400);
+    println!("CSV outputs written under results/.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (CPU feature comparison).
+fn main() {
+    mudock_bench::report::table1();
+}

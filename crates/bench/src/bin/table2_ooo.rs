@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II (out-of-order resources).
+fn main() {
+    mudock_bench::report::table2();
+}

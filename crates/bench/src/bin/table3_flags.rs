@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table III (compiler versions and flags).
+fn main() {
+    mudock_bench::report::table3();
+}

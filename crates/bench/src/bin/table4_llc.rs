@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table IV (LLC miss rates single vs multi-core).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::table4(&study);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table V (arithmetic intensity single vs multi-core).
+use mudock_archsim::Study;
+fn main() {
+    let study = Study::new();
+    mudock_bench::report::table5(&study);
+}

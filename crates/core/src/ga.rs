@@ -1,0 +1,264 @@
+//! Genetic algorithm for pose search — the paper's search heuristic
+//! (Section V): muDock "uses a genetic algorithm to dock a ligand inside
+//! the target protein binding site *without a local search*", i.e. the
+//! Lamarckian local-search step of AutoDock is intentionally absent.
+//!
+//! Standard generational GA: tournament selection, two-point crossover on
+//! the flat gene vector, per-gene Gaussian mutation, elitism. Fully
+//! deterministic given the seed.
+
+use mudock_mol::Vec3;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::genotype::{Genotype, FIRST_TORSION};
+
+/// GA hyper-parameters (defaults follow the paper's setup: 100 individuals
+/// per population).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaParams {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability that a child is produced by crossover (else cloned).
+    pub crossover_rate: f32,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f32,
+    /// Mutation σ for translation genes (Å).
+    pub sigma_translation: f32,
+    /// Mutation σ for quaternion component genes.
+    pub sigma_rotation: f32,
+    /// Mutation σ for torsion genes (radians).
+    pub sigma_torsion: f32,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 100,
+            generations: 1000,
+            tournament: 3,
+            crossover_rate: 0.8,
+            mutation_rate: 0.08,
+            sigma_translation: 0.6,
+            sigma_rotation: 0.15,
+            sigma_torsion: 0.4,
+            elitism: 2,
+        }
+    }
+}
+
+/// Standard Gaussian via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random::<f32>().max(1e-7);
+    let u2: f32 = rng.random();
+    (-2.0f32 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Generational GA state (owns the RNG; all decisions are deterministic in
+/// the seed).
+pub struct Ga {
+    pub params: GaParams,
+    rng: StdRng,
+    center: Vec3,
+    t_bound: f32,
+    n_torsions: usize,
+}
+
+impl Ga {
+    pub fn new(params: GaParams, seed: u64, center: Vec3, t_bound: f32, n_torsions: usize) -> Ga {
+        assert!(params.population >= 2, "population must hold at least 2");
+        assert!(params.tournament >= 1);
+        assert!(params.elitism < params.population);
+        Ga {
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0x6761_5f73_6565_64),
+            center,
+            t_bound,
+            n_torsions,
+        }
+    }
+
+    /// Uniformly random initial population.
+    pub fn init_population(&mut self) -> Vec<Genotype> {
+        (0..self.params.population)
+            .map(|_| Genotype::random(&mut self.rng, self.n_torsions, self.center, self.t_bound))
+            .collect()
+    }
+
+    /// Index of the tournament winner (lowest fitness = best).
+    fn tournament(&mut self, fitness: &[f32]) -> usize {
+        let n = fitness.len();
+        let mut best = self.rng.random_range(0..n);
+        for _ in 1..self.params.tournament {
+            let c = self.rng.random_range(0..n);
+            if fitness[c] < fitness[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Two-point crossover on the flat gene vector.
+    fn crossover(&mut self, a: &Genotype, b: &Genotype) -> Genotype {
+        let len = a.genes.len();
+        let mut p1 = self.rng.random_range(0..len);
+        let mut p2 = self.rng.random_range(0..len);
+        if p1 > p2 {
+            std::mem::swap(&mut p1, &mut p2);
+        }
+        let mut child = a.clone();
+        child.genes[p1..p2].copy_from_slice(&b.genes[p1..p2]);
+        child
+    }
+
+    /// Per-gene Gaussian mutation with role-specific σ; translations stay
+    /// inside the search box, torsions wrap to (−π, π].
+    fn mutate(&mut self, g: &mut Genotype) {
+        use std::f32::consts::PI;
+        let p = &self.params;
+        for k in 0..g.genes.len() {
+            if self.rng.random::<f32>() >= p.mutation_rate {
+                continue;
+            }
+            let noise = gauss(&mut self.rng);
+            if k < 3 {
+                let c = [self.center.x, self.center.y, self.center.z][k];
+                g.genes[k] = (g.genes[k] + noise * p.sigma_translation)
+                    .clamp(c - self.t_bound, c + self.t_bound);
+            } else if k < FIRST_TORSION {
+                g.genes[k] += noise * p.sigma_rotation;
+            } else {
+                let mut t = g.genes[k] + noise * p.sigma_torsion;
+                while t > PI {
+                    t -= 2.0 * PI;
+                }
+                while t < -PI {
+                    t += 2.0 * PI;
+                }
+                g.genes[k] = t;
+            }
+        }
+        // Guard against a degenerate all-zero quaternion after mutation.
+        let q2: f32 = g.genes[3..7].iter().map(|x| x * x).sum();
+        if q2 < 1e-8 {
+            g.genes[3] = 1.0;
+        }
+    }
+
+    /// Produce the next generation from the scored current one.
+    pub fn evolve(&mut self, pop: &[Genotype], fitness: &[f32]) -> Vec<Genotype> {
+        assert_eq!(pop.len(), fitness.len());
+        let p = self.params;
+        let mut order: Vec<usize> = (0..pop.len()).collect();
+        order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+
+        let mut next = Vec::with_capacity(pop.len());
+        for &e in order.iter().take(p.elitism) {
+            next.push(pop[e].clone());
+        }
+        while next.len() < pop.len() {
+            let pa = self.tournament(fitness);
+            let mut child = if self.rng.random::<f32>() < p.crossover_rate {
+                let pb = self.tournament(fitness);
+                self.crossover(&pop[pa], &pop[pb])
+            } else {
+                pop[pa].clone()
+            };
+            self.mutate(&mut child);
+            next.push(child);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ga(seed: u64) -> Ga {
+        Ga::new(
+            GaParams { population: 20, generations: 5, ..Default::default() },
+            seed,
+            Vec3::ZERO,
+            5.0,
+            4,
+        )
+    }
+
+    #[test]
+    fn init_population_size_and_bounds() {
+        let mut g = ga(1);
+        let pop = g.init_population();
+        assert_eq!(pop.len(), 20);
+        for ind in &pop {
+            assert_eq!(ind.n_torsions(), 4);
+            let t = ind.translation();
+            assert!(t.x.abs() <= 5.0 && t.y.abs() <= 5.0 && t.z.abs() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (mut a, mut b) = (ga(7), ga(7));
+        let pa = a.init_population();
+        let pb = b.init_population();
+        assert_eq!(pa, pb);
+        let fit: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        assert_eq!(a.evolve(&pa, &fit), b.evolve(&pb, &fit));
+    }
+
+    #[test]
+    fn elitism_preserves_best() {
+        let mut g = ga(3);
+        let pop = g.init_population();
+        // Give individual 13 the best fitness.
+        let mut fit = vec![10.0f32; 20];
+        fit[13] = -5.0;
+        let next = g.evolve(&pop, &fit);
+        assert_eq!(next.len(), 20);
+        assert_eq!(next[0], pop[13], "elite slot 0 holds the best individual");
+    }
+
+    #[test]
+    fn mutation_keeps_translations_in_box() {
+        let mut g = Ga::new(
+            GaParams { mutation_rate: 1.0, sigma_translation: 50.0, ..Default::default() },
+            9,
+            Vec3::ZERO,
+            2.0,
+            0,
+        );
+        let pop = vec![Genotype::identity(0); 100];
+        let fit = vec![0.0f32; 100];
+        let next = g.evolve(&pop, &fit);
+        for ind in &next {
+            let t = ind.translation();
+            assert!(t.x.abs() <= 2.0 + 1e-5 && t.y.abs() <= 2.0 + 1e-5 && t.z.abs() <= 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn torsions_stay_wrapped() {
+        let mut g = Ga::new(
+            GaParams { mutation_rate: 1.0, sigma_torsion: 10.0, ..Default::default() },
+            11,
+            Vec3::ZERO,
+            2.0,
+            6,
+        );
+        let pop = vec![Genotype::identity(6); 50];
+        let fit = vec![0.0f32; 50];
+        let next = g.evolve(&pop, &fit);
+        for ind in next.iter().skip(g.params.elitism) {
+            for k in 0..6 {
+                assert!(ind.torsion(k).abs() <= std::f32::consts::PI + 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Intramolecular pair list in gather-friendly SoA form.
+//!
+//! Built once per ligand: for every scored pair (graph distance > 3) the
+//! force-field coefficients are premultiplied and flattened so the intra
+//! kernel is pure arithmetic + coordinate gathers. Padding entries carry
+//! all-zero coefficients, making their contribution exactly zero — kernels
+//! never need tail handling.
+
+use mudock_ff::params::PairTable;
+use mudock_ff::terms::solvation_param;
+use mudock_ff::vterms::premult;
+use mudock_mol::{padded_len, Molecule, Topology};
+
+/// Per-pair coefficient arrays (all padded to the widest vector).
+#[derive(Clone, Debug, Default)]
+pub struct PairsSoA {
+    /// Real pair count (arrays are padded beyond it).
+    pub n: usize,
+    /// First atom index of each pair.
+    pub i: Vec<i32>,
+    /// Second atom index of each pair.
+    pub j: Vec<i32>,
+    /// Weighted 12-power coefficient.
+    pub c12: Vec<f32>,
+    /// Weighted 6-power coefficient (0 for H-bond pairs).
+    pub c6: Vec<f32>,
+    /// Weighted 10-power coefficient (0 for non-H-bond pairs).
+    pub c10: Vec<f32>,
+    /// Pair equilibrium distance (for smoothing).
+    pub rij: Vec<f32>,
+    /// Premultiplied electrostatic coefficient `W_e·332·q_i·q_j`.
+    pub qq: Vec<f32>,
+    /// Premultiplied desolvation coefficient `W_d·(S_i V_j + S_j V_i)`.
+    pub sv: Vec<f32>,
+}
+
+impl PairsSoA {
+    /// Build from a molecule and its derived topology.
+    pub fn build(mol: &Molecule, topo: &Topology, table: &PairTable) -> PairsSoA {
+        let n = topo.pairs.len();
+        let len = padded_len(n.max(1));
+        let mut p = PairsSoA {
+            n,
+            i: vec![0; len],
+            j: vec![0; len],
+            c12: vec![0.0; len],
+            c6: vec![0.0; len],
+            c10: vec![0.0; len],
+            rij: vec![1.0; len],
+            qq: vec![0.0; len],
+            sv: vec![0.0; len],
+        };
+        for (k, &(ai, aj)) in topo.pairs.iter().enumerate() {
+            let a = &mol.atoms[ai as usize];
+            let b = &mol.atoms[aj as usize];
+            let t = PairTable::index(a.ty, b.ty);
+            p.i[k] = ai as i32;
+            p.j[k] = aj as i32;
+            p.c12[k] = table.c12[t];
+            p.c6[k] = table.c6[t];
+            p.c10[k] = table.c10[t];
+            p.rij[k] = table.rij[t];
+            p.qq[k] = premult::qq(a.charge, b.charge);
+            let sa = solvation_param(a.ty, a.charge);
+            let sb = solvation_param(b.ty, b.charge);
+            let va = mudock_ff::params::type_params(a.ty).vol;
+            let vb = mudock_ff::params::type_params(b.ty).vol;
+            p.sv[k] = premult::sv(sa, va, sb, vb);
+        }
+        p
+    }
+
+    /// Padded array length.
+    #[inline]
+    pub fn len_padded(&self) -> usize {
+        self.i.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudock_ff::types::AtomType;
+    use mudock_mol::{Atom, Bond, Vec3};
+
+    fn chain(n: usize) -> (Molecule, Topology) {
+        let mut m = Molecule::new("chain");
+        for k in 0..n {
+            let ty = if k % 3 == 0 { AtomType::OA } else { AtomType::C };
+            m.atoms.push(Atom::new(Vec3::new(k as f32 * 1.5, 0.0, 0.0), ty, 0.1));
+        }
+        for k in 0..n - 1 {
+            m.bonds.push(Bond::new(k as u32, k as u32 + 1, false));
+        }
+        let t = Topology::build(&m);
+        (m, t)
+    }
+
+    #[test]
+    fn pair_count_matches_topology() {
+        let (m, t) = chain(8);
+        let p = PairsSoA::build(&m, &t, &PairTable::new());
+        assert_eq!(p.n, t.pairs.len());
+        assert!(p.len_padded() >= p.n);
+        assert_eq!(p.len_padded() % mudock_mol::PAD, 0);
+    }
+
+    #[test]
+    fn padding_has_zero_coefficients() {
+        let (m, t) = chain(8);
+        let p = PairsSoA::build(&m, &t, &PairTable::new());
+        for k in p.n..p.len_padded() {
+            assert_eq!(p.c12[k], 0.0);
+            assert_eq!(p.c6[k], 0.0);
+            assert_eq!(p.c10[k], 0.0);
+            assert_eq!(p.qq[k], 0.0);
+            assert_eq!(p.sv[k], 0.0);
+        }
+    }
+
+    #[test]
+    fn coefficients_match_force_field() {
+        let (m, t) = chain(8);
+        let p = PairsSoA::build(&m, &t, &PairTable::new());
+        let table = PairTable::new();
+        for k in 0..p.n {
+            let (ai, aj) = t.pairs[k];
+            let a = &m.atoms[ai as usize];
+            let b = &m.atoms[aj as usize];
+            let idx = PairTable::index(a.ty, b.ty);
+            assert_eq!(p.c12[k], table.c12[idx]);
+            assert_eq!(p.qq[k], premult::qq(a.charge, b.charge));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Kernel work counters — the software stand-in for the LIKWID marker
+//! regions the paper instruments (Section VII-d). The architecture model
+//! (`mudock-archsim`) converts these counts into operation mixes.
+
+/// Work performed by the docking kernels, accumulated per engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Poses fully scored (transform + inter + intra).
+    pub poses_scored: u64,
+    /// Intramolecular pairs evaluated (real pairs, before cutoff masking).
+    pub pairs_evaluated: u64,
+    /// Grid map lookups (3 per ligand atom per pose: type/elec/desolv).
+    pub grid_lookups: u64,
+    /// Atoms rigid-transformed.
+    pub atoms_transformed: u64,
+    /// Per-torsion atom rotations (branchless kernel: atoms × torsions).
+    pub torsion_rotations: u64,
+    /// GA generations executed.
+    pub generations: u64,
+}
+
+impl KernelStats {
+    /// Accumulate another run's counters.
+    pub fn merge(&mut self, o: &KernelStats) {
+        self.poses_scored += o.poses_scored;
+        self.pairs_evaluated += o.pairs_evaluated;
+        self.grid_lookups += o.grid_lookups;
+        self.atoms_transformed += o.atoms_transformed;
+        self.torsion_rotations += o.torsion_rotations;
+        self.generations += o.generations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = KernelStats {
+            poses_scored: 1,
+            pairs_evaluated: 2,
+            grid_lookups: 3,
+            atoms_transformed: 4,
+            torsion_rotations: 5,
+            generations: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.poses_scored, 2);
+        assert_eq!(a.generations, 12);
+    }
+}

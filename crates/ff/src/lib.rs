@@ -1,0 +1,31 @@
+//! # mudock-ff — AutoDock 4-style force field
+//!
+//! The scoring function the paper's muDock mini-app inherits from AutoDock
+//! (Morris et al. 1998; Huey et al. 2007): a pairwise free-energy model with
+//! four terms — van der Waals (12-6), hydrogen bonding (12-10),
+//! electrostatics with a Mehler–Solmajer distance-dependent dielectric, and
+//! a Gaussian-envelope desolvation term — plus the published AD4.1
+//! per-atom-type parameter set.
+//!
+//! This crate is deliberately scalar: it is the *reference semantics*. The
+//! vectorized kernels in `mudock-core` and the grid precomputation in
+//! `mudock-grids` are validated against [`terms::pair_energy`].
+//!
+//! ```
+//! use mudock_ff::{params::PairTable, terms, types::AtomType};
+//!
+//! let table = PairTable::new();
+//! // A carbonyl oxygen accepting an H-bond from a donor hydrogen:
+//! let e = terms::pair_energy(&table, AtomType::HD, 0.16, AtomType::OA, -0.35, 1.9);
+//! assert!(e.hbond < 0.0);
+//! assert!(e.elec < 0.0);
+//! ```
+
+pub mod params;
+pub mod terms;
+pub mod types;
+pub mod vterms;
+
+pub use params::{PairTable, TypeParams, COULOMB, NB_CUTOFF};
+pub use terms::{pair_energy, EnergyTerms};
+pub use types::{AtomType, NUM_TYPES};

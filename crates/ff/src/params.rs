@@ -1,0 +1,252 @@
+//! AutoDock 4.1 force-field parameters and the precomputed pair table.
+//!
+//! Per-type values follow the published `AD4.1_bound.dat` parameter set
+//! (Huey et al., J. Comput. Chem. 2007): van der Waals diameter `Rii` and
+//! well depth `epsii`, atomic volume and solvation parameter for the
+//! desolvation term, and hydrogen-bond 12-10 parameters for acceptor types.
+//!
+//! [`PairTable`] flattens every type-pair's coefficients into dense arrays
+//! so that SIMD kernels can `gather` them by `type_i * NUM_TYPES + type_j`
+//! — the paper's "memory lookups into large constant data structures"
+//! pattern (Section V).
+
+use crate::types::{AtomType, NUM_TYPES};
+
+/// Free-energy model weights (AutoDock 4.1 calibration).
+pub mod weights {
+    /// van der Waals 12-6 term weight.
+    pub const VDW: f32 = 0.1662;
+    /// Hydrogen-bond 12-10 term weight.
+    pub const HBOND: f32 = 0.1209;
+    /// Electrostatic term weight.
+    pub const ESTAT: f32 = 0.1406;
+    /// Desolvation term weight.
+    pub const DESOLV: f32 = 0.1322;
+    /// Torsional entropy weight (per active rotatable bond).
+    pub const TORS: f32 = 0.2983;
+}
+
+/// Coulomb conversion so that `q1*q2/r` with charges in e and r in Å yields
+/// kcal/mol.
+pub const COULOMB: f32 = 332.06363;
+
+/// Gaussian width of the desolvation term (Å).
+pub const DESOLV_SIGMA: f32 = 3.6;
+
+/// Charge-dependent part of the atomic solvation parameter.
+pub const QSOLPAR: f32 = 0.01097;
+
+/// Non-bonded interaction cutoff (Å) for intramolecular scoring, matching
+/// AutoDock's `NBC`.
+pub const NB_CUTOFF: f32 = 8.0;
+
+/// Potential smoothing width (Å), matching AutoGrid's default `smooth 0.5`:
+/// distances within ±0.25 Å of the well minimum are snapped to it.
+pub const SMOOTH: f32 = 0.5;
+
+/// Per-type static parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TypeParams {
+    /// Sum of vdW radii of two like atoms (Å).
+    pub rii: f32,
+    /// vdW well depth (kcal/mol).
+    pub epsii: f32,
+    /// Atomic fragmental volume (Å³).
+    pub vol: f32,
+    /// Atomic solvation parameter.
+    pub solpar: f32,
+    /// H-bond equilibrium distance (Å) when acting as acceptor (0 = n/a).
+    pub rij_hb: f32,
+    /// H-bond well depth (kcal/mol) when acting as acceptor (0 = n/a).
+    pub eps_hb: f32,
+}
+
+/// AD4.1 parameters in [`AtomType::ALL`] order.
+pub const TYPE_PARAMS: [TypeParams; NUM_TYPES] = [
+    // C
+    TypeParams { rii: 4.00, epsii: 0.150, vol: 33.5103, solpar: -0.00143, rij_hb: 0.0, eps_hb: 0.0 },
+    // A
+    TypeParams { rii: 4.00, epsii: 0.150, vol: 33.5103, solpar: -0.00052, rij_hb: 0.0, eps_hb: 0.0 },
+    // N
+    TypeParams { rii: 3.50, epsii: 0.160, vol: 22.4493, solpar: -0.00162, rij_hb: 0.0, eps_hb: 0.0 },
+    // NA
+    TypeParams { rii: 3.50, epsii: 0.160, vol: 22.4493, solpar: -0.00162, rij_hb: 1.9, eps_hb: 5.0 },
+    // OA
+    TypeParams { rii: 3.20, epsii: 0.200, vol: 17.1573, solpar: -0.00251, rij_hb: 1.9, eps_hb: 5.0 },
+    // S
+    TypeParams { rii: 4.00, epsii: 0.200, vol: 33.5103, solpar: -0.00214, rij_hb: 0.0, eps_hb: 0.0 },
+    // SA
+    TypeParams { rii: 4.00, epsii: 0.200, vol: 33.5103, solpar: -0.00214, rij_hb: 2.5, eps_hb: 1.0 },
+    // H
+    TypeParams { rii: 2.00, epsii: 0.020, vol: 0.0, solpar: 0.00051, rij_hb: 0.0, eps_hb: 0.0 },
+    // HD
+    TypeParams { rii: 2.00, epsii: 0.020, vol: 0.0, solpar: 0.00051, rij_hb: 0.0, eps_hb: 0.0 },
+    // F
+    TypeParams { rii: 3.09, epsii: 0.080, vol: 15.4480, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    // Cl
+    TypeParams { rii: 4.09, epsii: 0.276, vol: 35.8235, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    // Br
+    TypeParams { rii: 4.33, epsii: 0.389, vol: 42.5661, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    // I
+    TypeParams { rii: 4.72, epsii: 0.550, vol: 55.0585, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    // P
+    TypeParams { rii: 4.20, epsii: 0.200, vol: 38.7924, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+];
+
+/// Look up the static parameters for one type.
+#[inline(always)]
+pub fn type_params(t: AtomType) -> &'static TypeParams {
+    &TYPE_PARAMS[t.idx()]
+}
+
+/// Does the ordered pair (i, j) form a hydrogen bond (one side a donor
+/// hydrogen `HD`, the other an acceptor `NA`/`OA`/`SA`)?
+#[inline]
+pub fn is_hbond_pair(a: AtomType, b: AtomType) -> bool {
+    (a.is_donor_h() && b.is_acceptor()) || (b.is_donor_h() && a.is_acceptor())
+}
+
+/// Precomputed pairwise coefficients for every (type, type) combination,
+/// stored as dense `NUM_TYPES × NUM_TYPES` row-major tables so SIMD kernels
+/// can gather them.
+///
+/// For a vdW pair the pair potential is `c12/r¹² − c6/r⁶`; for an H-bond
+/// pair it is `c12/r¹² − c10/r¹⁰` (with `c6 = 0` and the `hbond` flag set).
+/// Coefficients include the free-energy weights, so kernels sum raw terms.
+#[derive(Clone, Debug)]
+pub struct PairTable {
+    /// Repulsive coefficient (weighted).
+    pub c12: Vec<f32>,
+    /// Dispersive 6-power coefficient (weighted, 0 for H-bond pairs).
+    pub c6: Vec<f32>,
+    /// Attractive 10-power coefficient (weighted, 0 for non-H-bond pairs).
+    pub c10: Vec<f32>,
+    /// 1.0 if the pair is an H-bond pair else 0.0 (selectable in SIMD).
+    pub hbond: Vec<f32>,
+    /// Equilibrium distance `Rij` of the pair (Å), for smoothing.
+    pub rij: Vec<f32>,
+}
+
+impl PairTable {
+    /// Build the full table (small: 14 × 14 entries per array).
+    pub fn new() -> PairTable {
+        let n = NUM_TYPES * NUM_TYPES;
+        let mut t = PairTable {
+            c12: vec![0.0; n],
+            c6: vec![0.0; n],
+            c10: vec![0.0; n],
+            hbond: vec![0.0; n],
+            rij: vec![0.0; n],
+        };
+        for a in AtomType::ALL {
+            for b in AtomType::ALL {
+                let k = a.idx() * NUM_TYPES + b.idx();
+                let pa = type_params(a);
+                let pb = type_params(b);
+                if is_hbond_pair(a, b) {
+                    // 12-10 potential with the acceptor's H-bond parameters.
+                    let acc = if a.is_acceptor() { pa } else { pb };
+                    let rij = acc.rij_hb;
+                    let eps = acc.eps_hb;
+                    t.c12[k] = weights::HBOND * 5.0 * eps * rij.powi(12);
+                    t.c10[k] = weights::HBOND * 6.0 * eps * rij.powi(10);
+                    t.hbond[k] = 1.0;
+                    t.rij[k] = rij;
+                } else {
+                    // Lorentz-Berthelot-style combination as in AutoDock:
+                    // arithmetic mean of diameters, geometric mean of depths.
+                    let rij = 0.5 * (pa.rii + pb.rii);
+                    let eps = (pa.epsii * pb.epsii).sqrt();
+                    t.c12[k] = weights::VDW * eps * rij.powi(12);
+                    t.c6[k] = weights::VDW * 2.0 * eps * rij.powi(6);
+                    t.rij[k] = rij;
+                }
+            }
+        }
+        t
+    }
+
+    /// Flat index for an (i, j) type pair.
+    #[inline(always)]
+    pub fn index(a: AtomType, b: AtomType) -> usize {
+        a.idx() * NUM_TYPES + b.idx()
+    }
+}
+
+impl Default for PairTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_symmetric() {
+        let t = PairTable::new();
+        for a in AtomType::ALL {
+            for b in AtomType::ALL {
+                let ij = PairTable::index(a, b);
+                let ji = PairTable::index(b, a);
+                assert_eq!(t.c12[ij], t.c12[ji], "{a}-{b} c12");
+                assert_eq!(t.c6[ij], t.c6[ji], "{a}-{b} c6");
+                assert_eq!(t.c10[ij], t.c10[ji], "{a}-{b} c10");
+                assert_eq!(t.hbond[ij], t.hbond[ji], "{a}-{b} hbond");
+            }
+        }
+    }
+
+    #[test]
+    fn hbond_pairs_flagged() {
+        let t = PairTable::new();
+        assert_eq!(t.hbond[PairTable::index(AtomType::HD, AtomType::OA)], 1.0);
+        assert_eq!(t.hbond[PairTable::index(AtomType::OA, AtomType::HD)], 1.0);
+        assert_eq!(t.hbond[PairTable::index(AtomType::HD, AtomType::NA)], 1.0);
+        assert_eq!(t.hbond[PairTable::index(AtomType::HD, AtomType::SA)], 1.0);
+        // HD-HD is not an H-bond; neither is OA-OA (two acceptors).
+        assert_eq!(t.hbond[PairTable::index(AtomType::HD, AtomType::HD)], 0.0);
+        assert_eq!(t.hbond[PairTable::index(AtomType::OA, AtomType::OA)], 0.0);
+        assert_eq!(t.hbond[PairTable::index(AtomType::C, AtomType::C)], 0.0);
+    }
+
+    #[test]
+    fn vdw_minimum_at_rij() {
+        // E(r) = c12/r^12 - c6/r^6 has its minimum exactly at r = Rij with
+        // depth -w*eps (by construction of c12 and c6).
+        let t = PairTable::new();
+        let k = PairTable::index(AtomType::C, AtomType::C);
+        let rij = t.rij[k];
+        assert_eq!(rij, 4.0);
+        let e = |r: f32| t.c12[k] / r.powi(12) - t.c6[k] / r.powi(6);
+        let emin = e(rij);
+        assert!((emin + weights::VDW * 0.150).abs() < 1e-6, "depth {emin}");
+        assert!(e(rij - 0.05) > emin);
+        assert!(e(rij + 0.05) > emin);
+    }
+
+    #[test]
+    fn hbond_minimum_depth() {
+        // 12-10 with c12 = 5 eps r^12, c10 = 6 eps r^10: minimum at r = rij
+        // with depth -w*eps.
+        let t = PairTable::new();
+        let k = PairTable::index(AtomType::HD, AtomType::OA);
+        let rij = t.rij[k];
+        assert_eq!(rij, 1.9);
+        let e = |r: f32| t.c12[k] / r.powi(12) - t.c10[k] / r.powi(10);
+        let emin = e(rij);
+        assert!((emin + weights::HBOND * 5.0).abs() < 2e-4, "depth {emin}");
+        assert!(e(rij * 0.95) > emin);
+        assert!(e(rij * 1.05) > emin);
+    }
+
+    #[test]
+    fn hd_oa_uses_acceptor_params_in_both_orders() {
+        let t = PairTable::new();
+        let a = PairTable::index(AtomType::HD, AtomType::OA);
+        let b = PairTable::index(AtomType::OA, AtomType::HD);
+        assert_eq!(t.rij[a], 1.9);
+        assert_eq!(t.rij[b], 1.9);
+    }
+}

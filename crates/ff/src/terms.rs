@@ -1,0 +1,227 @@
+//! Scalar reference implementations of the four AutoDock 4 energy terms
+//! (Algorithm 2 of the paper: electrostatic, van der Waals, hydrogen bond,
+//! desolvation).
+//!
+//! These are the ground truth that both the grid precomputation
+//! (`mudock-grids`) and the SIMD intra-energy kernels (`mudock-core`) are
+//! tested against.
+
+use crate::params::{
+    weights, PairTable, COULOMB, DESOLV_SIGMA, QSOLPAR, SMOOTH,
+};
+use crate::types::AtomType;
+
+/// Upper clamp applied to the 12-6/12-10 term, matching AutoGrid's
+/// `EINTCLAMP` so near-overlapping atoms don't produce infinities.
+pub const ECLAMP: f32 = 100_000.0;
+
+/// Minimum interaction distance (Å); shorter distances are treated as this,
+/// as in AutoDock's tabulated potentials.
+pub const RMIN: f32 = 0.5;
+
+/// Mehler–Solmajer sigmoidal distance-dependent dielectric, as used by
+/// AutoDock 4: `ε(r) = A + B / (1 + k·exp(−λB·r))`.
+#[inline]
+pub fn dielectric(r: f32) -> f32 {
+    const LAMBDA: f32 = 0.003_627;
+    const EPS0: f32 = 78.4;
+    const A: f32 = -8.5525;
+    const B: f32 = EPS0 - A;
+    const K: f32 = 7.7839;
+    A + B / (1.0 + K * (-LAMBDA * B * r).exp())
+}
+
+/// AutoGrid-style potential smoothing: distances within ±`SMOOTH`/2 of the
+/// pair's equilibrium distance are snapped to it; others move toward it by
+/// `SMOOTH`/2.
+#[inline]
+pub fn smooth_r(r: f32, rij: f32) -> f32 {
+    let half = SMOOTH * 0.5;
+    if r - rij > half {
+        r - half
+    } else if rij - r > half {
+        r + half
+    } else {
+        rij
+    }
+}
+
+/// Weighted van der Waals / hydrogen-bond contribution for a pair with
+/// table coefficients at index `k` (both powers evaluated, selected by the
+/// table's `hbond` flag — the same branchless structure the SIMD kernel
+/// uses).
+#[inline]
+pub fn vdw_hbond(table: &PairTable, k: usize, r: f32) -> f32 {
+    let r = smooth_r(r.max(RMIN), table.rij[k]);
+    let inv_r2 = 1.0 / (r * r);
+    let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    let inv_r10 = inv_r6 * inv_r2 * inv_r2;
+    let inv_r12 = inv_r6 * inv_r6;
+    let rep = table.c12[k] * inv_r12;
+    let att = table.c6[k] * inv_r6 + table.c10[k] * inv_r10;
+    (rep - att).min(ECLAMP)
+}
+
+/// Weighted electrostatic contribution: `W_e · 332.06 · q_i q_j / (ε(r)·r)`.
+#[inline]
+pub fn electrostatic(qi: f32, qj: f32, r: f32) -> f32 {
+    let r = r.max(RMIN);
+    weights::ESTAT * COULOMB * qi * qj / (dielectric(r) * r)
+}
+
+/// Atomic solvation parameter `S = solpar + 0.01097·|q|`.
+#[inline]
+pub fn solvation_param(t: AtomType, q: f32) -> f32 {
+    crate::params::type_params(t).solpar + QSOLPAR * q.abs()
+}
+
+/// Weighted desolvation contribution:
+/// `W_d · (S_i·V_j + S_j·V_i) · exp(−r²/2σ²)`.
+#[inline]
+pub fn desolvation(si: f32, vi: f32, sj: f32, vj: f32, r: f32) -> f32 {
+    let g = (-(r * r) / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
+    weights::DESOLV * (si * vj + sj * vi) * g
+}
+
+/// Decomposed pairwise interaction energy.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyTerms {
+    /// Weighted van der Waals (12-6) part, 0 for H-bond pairs.
+    pub vdw: f32,
+    /// Weighted hydrogen-bond (12-10) part, 0 for non-H-bond pairs.
+    pub hbond: f32,
+    /// Weighted electrostatic part.
+    pub elec: f32,
+    /// Weighted desolvation part.
+    pub desolv: f32,
+}
+
+impl EnergyTerms {
+    /// Sum of all components.
+    #[inline]
+    pub fn total(&self) -> f32 {
+        self.vdw + self.hbond + self.elec + self.desolv
+    }
+}
+
+/// Full scalar pair interaction between two typed, charged atoms at
+/// distance `r` — the reference for every vectorized scoring path.
+pub fn pair_energy(
+    table: &PairTable,
+    ta: AtomType,
+    qa: f32,
+    tb: AtomType,
+    qb: f32,
+    r: f32,
+) -> EnergyTerms {
+    let k = PairTable::index(ta, tb);
+    let vh = vdw_hbond(table, k, r);
+    let (vdw, hbond) = if table.hbond[k] != 0.0 {
+        (0.0, vh)
+    } else {
+        (vh, 0.0)
+    };
+    let pa = crate::params::type_params(ta);
+    let pb = crate::params::type_params(tb);
+    EnergyTerms {
+        vdw,
+        hbond,
+        elec: electrostatic(qa, qb, r),
+        desolv: desolvation(
+            solvation_param(ta, qa),
+            pa.vol,
+            solvation_param(tb, qb),
+            pb.vol,
+        r,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dielectric_limits() {
+        // Near contact the medium looks like vacuum-ish (ε ≈ 1.3), at long
+        // range like bulk water (ε → 78.4).
+        let near = dielectric(0.0);
+        assert!((1.0..2.0).contains(&near), "ε(0) = {near}");
+        let far = dielectric(100.0);
+        assert!((far - 78.4).abs() < 0.5, "ε(100) = {far}");
+        // Monotonically increasing.
+        let mut prev = dielectric(0.0);
+        for i in 1..100 {
+            let e = dielectric(i as f32 * 0.25);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn smoothing_snaps_to_well() {
+        assert_eq!(smooth_r(4.0, 4.0), 4.0);
+        assert_eq!(smooth_r(4.2, 4.0), 4.0); // within half-width
+        assert_eq!(smooth_r(3.8, 4.0), 4.0);
+        assert_eq!(smooth_r(5.0, 4.0), 4.75); // pulled in by 0.25
+        assert_eq!(smooth_r(3.0, 4.0), 3.25); // pushed out by 0.25
+    }
+
+    #[test]
+    fn vdw_clamped_at_contact() {
+        let t = PairTable::new();
+        let k = PairTable::index(AtomType::C, AtomType::C);
+        assert_eq!(vdw_hbond(&t, k, 0.0), ECLAMP);
+        assert!(vdw_hbond(&t, k, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn electrostatic_sign_and_decay() {
+        // Opposite charges attract (negative energy).
+        assert!(electrostatic(0.5, -0.5, 3.0) < 0.0);
+        assert!(electrostatic(0.5, 0.5, 3.0) > 0.0);
+        // Decays with distance (same-charge case).
+        let e3 = electrostatic(0.5, 0.5, 3.0);
+        let e6 = electrostatic(0.5, 0.5, 6.0);
+        assert!(e6 < e3);
+    }
+
+    #[test]
+    fn desolvation_decays_as_gaussian() {
+        let si = solvation_param(AtomType::C, 0.0);
+        let vol = crate::params::type_params(AtomType::C).vol;
+        let e0 = desolvation(si, vol, si, vol, 0.0).abs();
+        let e36 = desolvation(si, vol, si, vol, DESOLV_SIGMA).abs();
+        // At r = σ the Gaussian is e^{-1/2}.
+        assert!((e36 / e0 - (-0.5f32).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pair_energy_splits_vdw_vs_hbond() {
+        let t = PairTable::new();
+        let e = pair_energy(&t, AtomType::HD, 0.2, AtomType::OA, -0.4, 1.9);
+        assert_eq!(e.vdw, 0.0);
+        assert!(e.hbond < 0.0, "at equilibrium distance: attractive");
+        let e2 = pair_energy(&t, AtomType::C, 0.0, AtomType::C, 0.0, 4.0);
+        assert_eq!(e2.hbond, 0.0);
+        assert!(e2.vdw < 0.0);
+    }
+
+    #[test]
+    fn pair_energy_symmetric() {
+        let t = PairTable::new();
+        for r in [1.5f32, 2.0, 3.3, 5.0, 7.9] {
+            let ab = pair_energy(&t, AtomType::NA, -0.3, AtomType::HD, 0.15, r);
+            let ba = pair_energy(&t, AtomType::HD, 0.15, AtomType::NA, -0.3, r);
+            assert_eq!(ab.total(), ba.total(), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn long_range_energy_is_small() {
+        let t = PairTable::new();
+        let e = pair_energy(&t, AtomType::C, 0.1, AtomType::OA, -0.2, 12.0);
+        assert!(e.vdw.abs() < 1e-3);
+        assert!(e.desolv.abs() < 1e-4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Vectorized force-field terms, generic over a [`Simd`] backend.
+//!
+//! Lane-for-lane equivalents of [`crate::terms`]; the grid builder
+//! (`mudock-grids`) and the intra-energy kernel (`mudock-core`) instantiate
+//! these at every SIMD level, and the equivalence tests in this module pin
+//! them to the scalar reference within documented tolerances.
+//!
+//! All branches of the scalar code become mask/select operations — the
+//! "complex control flow" → "branchless data flow" transformation the paper
+//! identifies as a prerequisite for vectorization (Section IX).
+
+use mudock_simd::{math, Simd};
+
+use crate::params::{weights, COULOMB, DESOLV_SIGMA, SMOOTH};
+use crate::terms::{ECLAMP, RMIN};
+
+/// Vectorized Mehler–Solmajer dielectric `ε(r)`.
+#[inline(always)]
+pub fn dielectric<S: Simd>(s: S, r: S::V) -> S::V {
+    const LAMBDA: f32 = 0.003_627;
+    const EPS0: f32 = 78.4;
+    const A: f32 = -8.5525;
+    const B: f32 = EPS0 - A;
+    const K: f32 = 7.7839;
+    let e = math::exp(s, s.mul(r, s.splat(-LAMBDA * B)));
+    let denom = s.mul_add(e, s.splat(K), s.splat(1.0));
+    s.add(s.splat(A), s.mul(s.splat(B), math::recip_nr(s, denom)))
+}
+
+/// Vectorized AutoGrid smoothing: snap `r` to the pair's well distance
+/// `rij` when within ±SMOOTH/2, otherwise move it SMOOTH/2 toward the well.
+#[inline(always)]
+pub fn smooth_r<S: Simd>(s: S, r: S::V, rij: S::V) -> S::V {
+    let half = s.splat(SMOOTH * 0.5);
+    let above = s.gt(s.sub(r, rij), half);
+    let below = s.gt(s.sub(rij, r), half);
+    let shifted = s.select(above, s.sub(r, half), s.select(below, s.add(r, half), rij));
+    shifted
+}
+
+/// Vectorized 12-6 / 12-10 van der Waals + hydrogen-bond term with
+/// smoothing and the `ECLAMP` ceiling. `c6` must be zero for H-bond pairs
+/// and `c10` zero for plain vdW pairs (as produced by
+/// [`crate::params::PairTable`]), which makes the power selection free.
+#[inline(always)]
+pub fn vdw_hbond<S: Simd>(
+    s: S,
+    r: S::V,
+    rij: S::V,
+    c12: S::V,
+    c6: S::V,
+    c10: S::V,
+) -> S::V {
+    let r = smooth_r(s, s.max(r, s.splat(RMIN)), rij);
+    let inv_r2 = math::recip_nr(s, s.mul(r, r));
+    let inv_r6 = s.mul(s.mul(inv_r2, inv_r2), inv_r2);
+    let inv_r10 = s.mul(s.mul(inv_r6, inv_r2), inv_r2);
+    let inv_r12 = s.mul(inv_r6, inv_r6);
+    let att = s.mul_add(c6, inv_r6, s.mul(c10, inv_r10));
+    let e = s.sub(s.mul(c12, inv_r12), att);
+    s.min(e, s.splat(ECLAMP))
+}
+
+/// Vectorized electrostatic term. `qq` is the premultiplied
+/// `W_e · 332.06 · q_i · q_j` per lane.
+#[inline(always)]
+pub fn electrostatic<S: Simd>(s: S, qq: S::V, r: S::V) -> S::V {
+    let r = s.max(r, s.splat(RMIN));
+    let denom = s.mul(dielectric(s, r), r);
+    s.mul(qq, math::recip_nr(s, denom))
+}
+
+/// Vectorized Gaussian desolvation envelope `exp(−r²/2σ²)`.
+#[inline(always)]
+pub fn desolv_gauss<S: Simd>(s: S, r2: S::V) -> S::V {
+    let k = -1.0 / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA);
+    math::exp(s, s.mul(r2, s.splat(k)))
+}
+
+/// Vectorized weighted desolvation term. `sv` is the premultiplied
+/// `W_d · (S_i·V_j + S_j·V_i)` per lane.
+#[inline(always)]
+pub fn desolvation<S: Simd>(s: S, sv: S::V, r2: S::V) -> S::V {
+    s.mul(sv, desolv_gauss(s, r2))
+}
+
+/// Free-energy weight constants re-exported for kernels that premultiply.
+pub mod premult {
+    use super::*;
+
+    /// Premultiplied electrostatic coefficient for a charge pair.
+    #[inline]
+    pub fn qq(qi: f32, qj: f32) -> f32 {
+        weights::ESTAT * COULOMB * qi * qj
+    }
+
+    /// Premultiplied desolvation coefficient for a typed charge pair.
+    #[inline]
+    pub fn sv(si: f32, vi: f32, sj: f32, vj: f32) -> f32 {
+        weights::DESOLV * (si * vj + sj * vi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PairTable;
+    use crate::terms;
+    use crate::types::AtomType;
+    use mudock_simd::{dispatch, SimdLevel};
+
+    /// Evaluate a single-lane quantity through a full-width backend by
+    /// splatting and extracting lane 0.
+    macro_rules! lane0 {
+        ($level:expr, |$s:ident| $v:expr) => {
+            dispatch!($level, |$s| {
+                let v = $v;
+                $s.extract(v, 0)
+            })
+        };
+    }
+
+    #[test]
+    fn dielectric_matches_scalar_all_levels() {
+        for level in SimdLevel::available() {
+            for i in 1..100 {
+                let r = i as f32 * 0.11;
+                let want = terms::dielectric(r);
+                let got = lane0!(level, |s| dielectric(s, s.splat(r)));
+                assert!(
+                    (got - want).abs() < 2e-4 * want.abs().max(1.0),
+                    "{level} r={r}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_matches_scalar_all_levels() {
+        for level in SimdLevel::available() {
+            for (r, rij) in [(4.0f32, 4.0f32), (4.2, 4.0), (3.8, 4.0), (5.0, 4.0), (3.0, 4.0)] {
+                let want = terms::smooth_r(r, rij);
+                let got = lane0!(level, |s| smooth_r(s, s.splat(r), s.splat(rij)));
+                assert_eq!(got, want, "{level} r={r} rij={rij}");
+            }
+        }
+    }
+
+    #[test]
+    fn vdw_hbond_matches_scalar_all_levels() {
+        let table = PairTable::new();
+        let pairs = [
+            (AtomType::C, AtomType::C),
+            (AtomType::C, AtomType::OA),
+            (AtomType::HD, AtomType::OA),
+            (AtomType::HD, AtomType::NA),
+            (AtomType::A, AtomType::S),
+        ];
+        for level in SimdLevel::available() {
+            for (ta, tb) in pairs {
+                let k = PairTable::index(ta, tb);
+                for i in 1..80 {
+                    let r = 0.8 + i as f32 * 0.09;
+                    let want = terms::vdw_hbond(&table, k, r);
+                    let (c12, c6, c10, rij) =
+                        (table.c12[k], table.c6[k], table.c10[k], table.rij[k]);
+                    let got = lane0!(level, |s| vdw_hbond(
+                        s,
+                        s.splat(r),
+                        s.splat(rij),
+                        s.splat(c12),
+                        s.splat(c6),
+                        s.splat(c10)
+                    ));
+                    let tol = 5e-4 * want.abs().max(1.0);
+                    assert!(
+                        (got - want).abs() < tol,
+                        "{level} {ta}-{tb} r={r}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn electrostatic_matches_scalar_all_levels() {
+        for level in SimdLevel::available() {
+            for i in 1..60 {
+                let r = 0.4 + i as f32 * 0.12;
+                let (qi, qj) = (0.35f32, -0.42f32);
+                let want = terms::electrostatic(qi, qj, r);
+                let qqv = premult::qq(qi, qj);
+                let got = lane0!(level, |s| electrostatic(s, s.splat(qqv), s.splat(r)));
+                assert!(
+                    (got - want).abs() < 5e-4 * want.abs().max(1e-3),
+                    "{level} r={r}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn desolvation_matches_scalar_all_levels() {
+        let si = terms::solvation_param(AtomType::C, 0.1);
+        let sj = terms::solvation_param(AtomType::OA, -0.3);
+        let vi = crate::params::type_params(AtomType::C).vol;
+        let vj = crate::params::type_params(AtomType::OA).vol;
+        for level in SimdLevel::available() {
+            for i in 0..60 {
+                let r = i as f32 * 0.13;
+                let want = terms::desolvation(si, vi, sj, vj, r);
+                let svv = premult::sv(si, vi, sj, vj);
+                let got = lane0!(level, |s| desolvation(s, s.splat(svv), s.splat(r * r)));
+                assert!(
+                    (got - want).abs() < 1e-5 + 1e-4 * want.abs(),
+                    "{level} r={r}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Grid geometry: extents, spacing, and index arithmetic shared by the
+//! scalar sampler and the SIMD inter-energy kernel.
+
+use mudock_mol::Vec3;
+
+/// Default AutoGrid spacing (Å).
+pub const DEFAULT_SPACING: f32 = 0.375;
+
+/// Geometry of a 3-D interaction grid. Point `(ix, iy, iz)` sits at
+/// `origin + (ix, iy, iz) * spacing`; the linear index runs x-fastest so a
+/// row of x-points is contiguous (vectorizable).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridDims {
+    /// Points along x, y, z.
+    pub npts: [u32; 3],
+    /// Point spacing (Å).
+    pub spacing: f32,
+    /// Position of point (0, 0, 0).
+    pub origin: Vec3,
+}
+
+impl GridDims {
+    /// Grid centered at `center` spanning at least `half_extent` Å in every
+    /// direction from it.
+    pub fn centered(center: Vec3, half_extent: f32, spacing: f32) -> GridDims {
+        assert!(spacing > 0.0, "spacing must be positive");
+        assert!(half_extent > 0.0, "half extent must be positive");
+        let half_pts = (half_extent / spacing).ceil() as u32;
+        let npts = 2 * half_pts + 1;
+        let origin = center - Vec3::new(1.0, 1.0, 1.0) * (half_pts as f32 * spacing);
+        GridDims { npts: [npts, npts, npts], spacing, origin }
+    }
+
+    /// Total number of points in one map.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.npts[0] as usize * self.npts[1] as usize * self.npts[2] as usize
+    }
+
+    /// Linear index of point `(ix, iy, iz)` (x fastest).
+    #[inline(always)]
+    pub fn linear(&self, ix: u32, iy: u32, iz: u32) -> usize {
+        ((iz as usize * self.npts[1] as usize) + iy as usize) * self.npts[0] as usize
+            + ix as usize
+    }
+
+    /// Cartesian position of a grid point.
+    #[inline]
+    pub fn point(&self, ix: u32, iy: u32, iz: u32) -> Vec3 {
+        self.origin
+            + Vec3::new(
+                ix as f32 * self.spacing,
+                iy as f32 * self.spacing,
+                iz as f32 * self.spacing,
+            )
+    }
+
+    /// Far corner of the grid (last point).
+    #[inline]
+    pub fn max_corner(&self) -> Vec3 {
+        self.point(self.npts[0] - 1, self.npts[1] - 1, self.npts[2] - 1)
+    }
+
+    /// Position in fractional grid units (continuous index space).
+    #[inline(always)]
+    pub fn to_grid_units(&self, p: Vec3) -> Vec3 {
+        (p - self.origin) / self.spacing
+    }
+
+    /// Is `p` inside the sampled volume (every trilinear corner valid)?
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        let g = self.to_grid_units(p);
+        g.x >= 0.0
+            && g.y >= 0.0
+            && g.z >= 0.0
+            && g.x <= (self.npts[0] - 1) as f32
+            && g.y <= (self.npts[1] - 1) as f32
+            && g.z <= (self.npts[2] - 1) as f32
+    }
+
+    /// Distance (Å) from `p` to the grid box, 0 if inside — drives the
+    /// out-of-box penalty that keeps poses inside the sampled region.
+    #[inline]
+    pub fn distance_outside(&self, p: Vec3) -> f32 {
+        let lo = self.origin;
+        let hi = self.max_corner();
+        let dx = (lo.x - p.x).max(0.0) + (p.x - hi.x).max(0.0);
+        let dy = (lo.y - p.y).max(0.0) + (p.y - hi.y).max(0.0);
+        let dz = (lo.z - p.z).max(0.0) + (p.z - hi.z).max(0.0);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_covers_extent() {
+        let d = GridDims::centered(Vec3::new(1.0, 2.0, 3.0), 10.0, 0.375);
+        assert!(d.npts[0] % 2 == 1, "odd point count keeps center on-grid");
+        let mid = (d.npts[0] - 1) / 2;
+        let c = d.point(mid, mid, mid);
+        assert!((c - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-4);
+        // Extent at least requested.
+        assert!((d.max_corner().x - 1.0) >= 10.0 - 1e-4);
+    }
+
+    #[test]
+    fn linear_index_is_x_fastest() {
+        let d = GridDims { npts: [4, 3, 2], spacing: 1.0, origin: Vec3::ZERO };
+        assert_eq!(d.linear(0, 0, 0), 0);
+        assert_eq!(d.linear(1, 0, 0), 1);
+        assert_eq!(d.linear(0, 1, 0), 4);
+        assert_eq!(d.linear(0, 0, 1), 12);
+        assert_eq!(d.linear(3, 2, 1), 23);
+        assert_eq!(d.total(), 24);
+    }
+
+    #[test]
+    fn containment_and_outside_distance() {
+        let d = GridDims { npts: [11, 11, 11], spacing: 1.0, origin: Vec3::ZERO };
+        assert!(d.contains(Vec3::new(5.0, 5.0, 5.0)));
+        assert!(d.contains(Vec3::new(0.0, 0.0, 0.0)));
+        assert!(d.contains(Vec3::new(10.0, 10.0, 10.0)));
+        assert!(!d.contains(Vec3::new(10.1, 5.0, 5.0)));
+        assert_eq!(d.distance_outside(Vec3::new(5.0, 5.0, 5.0)), 0.0);
+        assert!((d.distance_outside(Vec3::new(13.0, 5.0, 5.0)) - 3.0).abs() < 1e-5);
+        assert!((d.distance_outside(Vec3::new(-3.0, -4.0, 5.0)) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grid_units_roundtrip() {
+        let d = GridDims::centered(Vec3::new(0.0, 0.0, 0.0), 5.0, 0.5);
+        let p = Vec3::new(1.3, -2.1, 0.7);
+        let g = d.to_grid_units(p);
+        let back = d.origin + g * d.spacing;
+        assert!((back - p).norm() < 1e-5);
+    }
+}

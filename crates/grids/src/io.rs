@@ -1,0 +1,220 @@
+//! Grid-set serialization — the analogue of AutoGrid's `.map` files.
+//!
+//! AutoGrid runs once per receptor and writes its maps to disk; docking
+//! campaigns then reuse them across millions of ligands. This module
+//! stores a whole [`GridSet`] in one binary file:
+//!
+//! ```text
+//! magic  "MDKGRID1"                      8 bytes
+//! npts   [u32; 3]   spacing f32          origin [f32; 3]
+//! built  [u8; NUM_MAPS]
+//! data   little-endian f32 × NUM_MAPS × npts-product
+//! ```
+//!
+//! Everything is validated on load (magic, dimension sanity, exact file
+//! length), so a truncated or foreign file fails loudly instead of
+//! docking against garbage.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use mudock_mol::Vec3;
+
+use crate::dims::GridDims;
+use crate::map::{GridSet, NUM_MAPS};
+
+const MAGIC: &[u8; 8] = b"MDKGRID1";
+
+/// Errors loading or saving a grid-set file.
+#[derive(Debug)]
+pub enum GridIoError {
+    Io(std::io::Error),
+    /// Not a mudock grid file (bad magic).
+    BadMagic,
+    /// Header fields are out of sane ranges.
+    BadHeader(String),
+    /// File size does not match the header's dimensions.
+    Truncated { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for GridIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridIoError::Io(e) => write!(f, "grid i/o: {e}"),
+            GridIoError::BadMagic => write!(f, "not a mudock grid file"),
+            GridIoError::BadHeader(m) => write!(f, "bad grid header: {m}"),
+            GridIoError::Truncated { expected, got } => {
+                write!(f, "grid file truncated: expected {expected} data bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridIoError {}
+
+impl From<std::io::Error> for GridIoError {
+    fn from(e: std::io::Error) -> Self {
+        GridIoError::Io(e)
+    }
+}
+
+/// Write a grid set to `path`.
+pub fn save(gs: &GridSet, path: &Path) -> Result<(), GridIoError> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    for n in gs.dims.npts {
+        w.write_all(&n.to_le_bytes())?;
+    }
+    w.write_all(&gs.dims.spacing.to_le_bytes())?;
+    for c in [gs.dims.origin.x, gs.dims.origin.y, gs.dims.origin.z] {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    let built: Vec<u8> = gs.built.iter().map(|&b| b as u8).collect();
+    w.write_all(&built)?;
+    // Bulk data: one pass, little-endian f32.
+    let mut buf = Vec::with_capacity(gs.data.len() * 4);
+    for v in &gs.data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N], GridIoError> {
+    let mut b = [0u8; N];
+    r.read_exact(&mut b)?;
+    Ok(b)
+}
+
+/// Load a grid set from `path`, validating structure and size.
+pub fn load(path: &Path) -> Result<GridSet, GridIoError> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let magic = read_exact::<8>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(GridIoError::BadMagic);
+    }
+    let mut npts = [0u32; 3];
+    for n in &mut npts {
+        *n = u32::from_le_bytes(read_exact::<4>(&mut r)?);
+    }
+    let spacing = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let ox = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let oy = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let oz = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+
+    if npts.iter().any(|&n| !(2..=4096).contains(&n)) {
+        return Err(GridIoError::BadHeader(format!("npts {npts:?}")));
+    }
+    if !(spacing.is_finite() && spacing > 0.0 && spacing < 100.0) {
+        return Err(GridIoError::BadHeader(format!("spacing {spacing}")));
+    }
+    if ![ox, oy, oz].iter().all(|c| c.is_finite()) {
+        return Err(GridIoError::BadHeader("non-finite origin".into()));
+    }
+
+    let dims = GridDims { npts, spacing, origin: Vec3::new(ox, oy, oz) };
+    let mut built_bytes = [0u8; NUM_MAPS];
+    r.read_exact(&mut built_bytes)?;
+
+    let cells = dims.total();
+    let expected = NUM_MAPS * cells * 4;
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    if raw.len() != expected {
+        return Err(GridIoError::Truncated { expected, got: raw.len() });
+    }
+
+    let mut gs = GridSet::empty(dims);
+    for (i, chunk) in raw.chunks_exact(4).enumerate() {
+        gs.data[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for (i, &b) in built_bytes.iter().enumerate() {
+        gs.built[i] = b != 0;
+    }
+    Ok(gs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GridBuilder;
+    use mudock_ff::types::AtomType;
+    use mudock_mol::{Atom, Molecule};
+
+    fn sample() -> GridSet {
+        let mut rec = Molecule::new("r");
+        rec.atoms.push(Atom::new(Vec3::ZERO, AtomType::OA, -0.3));
+        rec.atoms.push(Atom::new(Vec3::new(2.0, 0.0, 0.0), AtomType::C, 0.1));
+        let dims = GridDims::centered(Vec3::ZERO, 3.0, 0.8);
+        GridBuilder::new(&rec, dims)
+            .with_types(&[AtomType::C, AtomType::HD])
+            .build_scalar()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mudock-grid-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let gs = sample();
+        let path = tmp("roundtrip.grid");
+        save(&gs, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.dims, gs.dims);
+        assert_eq!(back.built, gs.built);
+        assert_eq!(back.data.len(), gs.data.len());
+        for (a, b) in gs.data.iter().zip(&back.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = tmp("foreign.grid");
+        std::fs::write(&path, b"definitely not a grid file").unwrap();
+        assert!(matches!(load(&path), Err(GridIoError::BadMagic)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let gs = sample();
+        let path = tmp("truncated.grid");
+        save(&gs, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 17]).unwrap();
+        assert!(matches!(load(&path), Err(GridIoError::Truncated { .. })));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_corrupt_header() {
+        let gs = sample();
+        let path = tmp("corrupt.grid");
+        save(&gs, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Stomp npts[0] with an absurd value.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(GridIoError::BadHeader(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loaded_maps_sample_identically() {
+        let gs = sample();
+        let path = tmp("sample.grid");
+        save(&gs, &path).unwrap();
+        let back = load(&path).unwrap();
+        for p in [Vec3::ZERO, Vec3::new(1.3, -0.7, 0.4), Vec3::new(-2.0, 2.0, 1.0)] {
+            assert_eq!(
+                gs.sample(AtomType::C.idx(), p).to_bits(),
+                back.sample(AtomType::C.idx(), p).to_bits()
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

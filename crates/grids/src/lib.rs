@@ -1,0 +1,48 @@
+//! # mudock-grids — AutoGrid substrate
+//!
+//! AutoDock never evaluates ligand–receptor atom pairs directly during
+//! docking: AutoGrid precomputes, for each ligand atom *type*, a 3-D map of
+//! interaction energies on a lattice around the binding site, plus an
+//! electrostatic and a desolvation map. Scoring a pose then costs one
+//! trilinear lookup per atom per map — turning the inter-energy loop into
+//! the memory-bound "lookups into large constant data structures" pattern
+//! the paper studies (Section V).
+//!
+//! This crate provides:
+//!
+//! * [`GridDims`] — lattice geometry and index arithmetic;
+//! * [`GridSet`] — all maps in one contiguous, gather-friendly buffer;
+//! * [`GridBuilder`] — AutoGrid-equivalent precomputation with a scalar
+//!   reference path and SIMD paths at every [`SimdLevel`];
+//! * [`trilinear`] — the scalar sampling reference used to validate the
+//!   vectorized inter-energy kernel in `mudock-core`.
+//!
+//! ```
+//! use mudock_grids::{GridBuilder, GridDims};
+//! use mudock_mol::{Atom, Molecule, Vec3};
+//! use mudock_ff::types::AtomType;
+//!
+//! let mut receptor = Molecule::new("pocket");
+//! receptor.atoms.push(Atom::new(Vec3::ZERO, AtomType::OA, -0.4));
+//! let dims = GridDims::centered(Vec3::ZERO, 4.0, 0.5);
+//! let maps = GridBuilder::new(&receptor, dims)
+//!     .with_types(&[AtomType::C])
+//!     .build_scalar();
+//! // A carbon probe at the C–OA equilibrium distance (3.6 Å) sits in the
+//! // van der Waals well; on top of the oxygen it is strongly repelled.
+//! let at_well = maps.sample(AtomType::C.idx(), Vec3::new(3.6, 0.0, 0.0));
+//! let on_atom = maps.sample(AtomType::C.idx(), Vec3::ZERO);
+//! assert!(at_well < 0.5 && on_atom > 100.0);
+//! ```
+
+pub mod build;
+pub mod dims;
+pub mod io;
+pub mod map;
+
+pub use build::GridBuilder;
+pub use io::{load as load_grids, save as save_grids, GridIoError};
+pub use dims::{GridDims, DEFAULT_SPACING};
+pub use map::{trilinear, GridSet, DESOLV_MAP, ELEC_MAP, NUM_MAPS};
+
+pub use mudock_simd::SimdLevel;

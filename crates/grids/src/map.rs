@@ -1,0 +1,205 @@
+//! Grid map storage and trilinear sampling.
+//!
+//! Following AutoGrid, a [`GridSet`] holds one 3-D map per ligand atom type
+//! plus an electrostatic map (per unit charge) and a charge-dependent
+//! desolvation map (per unit |charge|). All maps live in **one contiguous
+//! buffer** so the SIMD inter-energy kernel can fetch any value with a
+//! single gather: `data[map_idx * stride + cell]` — the "multiple layers of
+//! 3D maps" the paper describes in Section V.
+
+use mudock_ff::types::NUM_TYPES;
+use mudock_mol::Vec3;
+
+use crate::dims::GridDims;
+
+/// Map slot of the electrostatic map.
+pub const ELEC_MAP: usize = NUM_TYPES;
+/// Map slot of the charge-dependent desolvation map.
+pub const DESOLV_MAP: usize = NUM_TYPES + 1;
+/// Total number of map slots.
+pub const NUM_MAPS: usize = NUM_TYPES + 2;
+
+/// A complete set of precomputed interaction maps around a receptor.
+#[derive(Clone, Debug)]
+pub struct GridSet {
+    pub dims: GridDims,
+    /// `NUM_MAPS × dims.total()` values; map `m` occupies
+    /// `[m*stride, (m+1)*stride)`.
+    pub data: Vec<f32>,
+    /// Which map slots were actually computed (unbuilt slots stay zero and
+    /// must not be sampled — the engine validates ligand types against
+    /// this).
+    pub built: [bool; NUM_MAPS],
+}
+
+impl GridSet {
+    /// Allocate an all-zero, nothing-built grid set.
+    pub fn empty(dims: GridDims) -> GridSet {
+        GridSet {
+            dims,
+            data: vec![0.0; NUM_MAPS * dims.total()],
+            built: [false; NUM_MAPS],
+        }
+    }
+
+    /// Number of points per map (= offset between consecutive maps).
+    #[inline(always)]
+    pub fn stride(&self) -> usize {
+        self.dims.total()
+    }
+
+    /// Immutable view of one map.
+    #[inline]
+    pub fn map(&self, m: usize) -> &[f32] {
+        let s = self.stride();
+        &self.data[m * s..(m + 1) * s]
+    }
+
+    /// Mutable view of one map.
+    #[inline]
+    pub fn map_mut(&mut self, m: usize) -> &mut [f32] {
+        let s = self.stride();
+        &mut self.data[m * s..(m + 1) * s]
+    }
+
+    /// Trilinear sample of map `m` at `p`, with `p` clamped into the box
+    /// (out-of-box handling — the penalty — is the scoring layer's job so
+    /// it is applied once per atom, not once per map).
+    pub fn sample(&self, m: usize, p: Vec3) -> f32 {
+        debug_assert!(self.built[m], "sampling unbuilt map {m}");
+        trilinear(self.map(m), &self.dims, p)
+    }
+
+    /// Approximate heap size in bytes (for the cache-model workloads).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Scalar trilinear interpolation over one map, clamping the sample point
+/// into the grid box. This is the reference the SIMD gather kernel is
+/// tested against.
+pub fn trilinear(map: &[f32], dims: &GridDims, p: Vec3) -> f32 {
+    let [nx, ny, nz] = dims.npts;
+    debug_assert!(nx >= 2 && ny >= 2 && nz >= 2, "grid too small to sample");
+    let g = dims.to_grid_units(p);
+    let cx = g.x.clamp(0.0, (nx - 1) as f32);
+    let cy = g.y.clamp(0.0, (ny - 1) as f32);
+    let cz = g.z.clamp(0.0, (nz - 1) as f32);
+    let ix = (cx as u32).min(nx - 2);
+    let iy = (cy as u32).min(ny - 2);
+    let iz = (cz as u32).min(nz - 2);
+    let fx = cx - ix as f32;
+    let fy = cy - iy as f32;
+    let fz = cz - iz as f32;
+
+    let sx = 1usize;
+    let sy = nx as usize;
+    let sz = (nx * ny) as usize;
+    let base = dims.linear(ix, iy, iz);
+
+    let c000 = map[base];
+    let c100 = map[base + sx];
+    let c010 = map[base + sy];
+    let c110 = map[base + sy + sx];
+    let c001 = map[base + sz];
+    let c101 = map[base + sz + sx];
+    let c011 = map[base + sz + sy];
+    let c111 = map[base + sz + sy + sx];
+
+    let c00 = c000 + fx * (c100 - c000);
+    let c10 = c010 + fx * (c110 - c010);
+    let c01 = c001 + fx * (c101 - c001);
+    let c11 = c011 + fx * (c111 - c011);
+    let c0 = c00 + fy * (c10 - c00);
+    let c1 = c01 + fy * (c11 - c01);
+    c0 + fz * (c1 - c0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> GridDims {
+        GridDims { npts: [5, 5, 5], spacing: 1.0, origin: Vec3::ZERO }
+    }
+
+    /// Linear field f(x,y,z) = 2x + 3y - z + 1 is reproduced exactly by
+    /// trilinear interpolation.
+    fn linear_field(d: &GridDims) -> Vec<f32> {
+        let mut m = vec![0.0; d.total()];
+        for iz in 0..d.npts[2] {
+            for iy in 0..d.npts[1] {
+                for ix in 0..d.npts[0] {
+                    let p = d.point(ix, iy, iz);
+                    m[d.linear(ix, iy, iz)] = 2.0 * p.x + 3.0 * p.y - p.z + 1.0;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn trilinear_exact_on_grid_points() {
+        let d = dims();
+        let m = linear_field(&d);
+        for iz in 0..5 {
+            for iy in 0..5 {
+                for ix in 0..5 {
+                    let p = d.point(ix, iy, iz);
+                    let want = m[d.linear(ix, iy, iz)];
+                    assert!((trilinear(&m, &d, p) - want).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_exact_on_linear_fields() {
+        let d = dims();
+        let m = linear_field(&d);
+        for p in [
+            Vec3::new(0.5, 0.5, 0.5),
+            Vec3::new(1.25, 3.75, 2.5),
+            Vec3::new(3.999, 0.001, 2.0),
+        ] {
+            let want = 2.0 * p.x + 3.0 * p.y - p.z + 1.0;
+            assert!(
+                (trilinear(&m, &d, p) - want).abs() < 1e-4,
+                "at {p}: {} vs {want}",
+                trilinear(&m, &d, p)
+            );
+        }
+    }
+
+    #[test]
+    fn trilinear_clamps_outside_points() {
+        let d = dims();
+        let m = linear_field(&d);
+        // Far outside: clamps to the nearest corner value.
+        let corner = m[d.linear(4, 4, 0)];
+        let got = trilinear(&m, &d, Vec3::new(100.0, 100.0, -50.0));
+        assert!((got - corner).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gridset_layout() {
+        let mut gs = GridSet::empty(dims());
+        assert_eq!(gs.data.len(), NUM_MAPS * 125);
+        gs.map_mut(3)[7] = 42.0;
+        assert_eq!(gs.map(3)[7], 42.0);
+        assert_eq!(gs.data[3 * 125 + 7], 42.0);
+        assert_eq!(gs.bytes(), NUM_MAPS * 125 * 4);
+    }
+
+    #[test]
+    fn sample_uses_map_slot() {
+        let d = dims();
+        let mut gs = GridSet::empty(d);
+        gs.built[0] = true;
+        for v in gs.map_mut(0) {
+            *v = 5.0;
+        }
+        assert_eq!(gs.sample(0, Vec3::new(2.0, 2.0, 2.0)), 5.0);
+    }
+}

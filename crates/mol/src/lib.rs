@@ -1,0 +1,22 @@
+//! # mudock-mol — molecule model for docking
+//!
+//! Data structures shared by every stage of the pipeline:
+//!
+//! * [`vec3::Vec3`] / [`quat::Quat`] — the geometry the pose transforms
+//!   (paper Algorithm 1) are built from;
+//! * [`molecule::Molecule`] — atoms, bonds, partial charges;
+//! * [`molecule::Topology`] — derived rotatable-bond fragments and the
+//!   intramolecular non-bonded pair list (Algorithm 2's intra loop);
+//! * [`soa`] — padded structure-of-arrays layouts that make the scoring
+//!   and transform loops vectorizable (one of the paper's key code
+//!   transformations).
+
+pub mod molecule;
+pub mod quat;
+pub mod soa;
+pub mod vec3;
+
+pub use molecule::{Atom, Bond, Molecule, MoleculeError, Topology, Torsion};
+pub use quat::Quat;
+pub use soa::{padded_len, AtomStatics, ConformSoA, PAD, PAD_COORD};
+pub use vec3::Vec3;

@@ -1,0 +1,224 @@
+//! Unit quaternions for rigid-body pose rotation (Algorithm 1, line 5)
+//! and torsion rotations about bond axes (line 8).
+
+use crate::vec3::Vec3;
+
+/// A quaternion `w + xi + yj + zk`. Pose rotations always use *unit*
+/// quaternions; [`Quat::normalized`] restores the invariant after genetic
+/// operators perturb components.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quat {
+    pub w: f32,
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub fn new(w: f32, x: f32, y: f32, z: f32) -> Quat {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis` (normalized internally).
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
+        let a = axis.normalized();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+    }
+
+    /// Uniformly distributed random rotation from three uniforms in
+    /// `[0, 1)` (Shoemake 1992). Deterministic given the inputs, so callers
+    /// own the RNG.
+    pub fn from_uniforms(u1: f32, u2: f32, u3: f32) -> Quat {
+        use std::f32::consts::TAU;
+        let s1 = (1.0 - u1).sqrt();
+        let s2 = u1.sqrt();
+        Quat {
+            w: s2 * (TAU * u3).cos(),
+            x: s1 * (TAU * u2).sin(),
+            y: s1 * (TAU * u2).cos(),
+            z: s2 * (TAU * u3).sin(),
+        }
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Rescale to unit length; degenerate zero quaternions become identity.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n > 1e-12 {
+            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        } else {
+            Quat::IDENTITY
+        }
+    }
+
+    /// Conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conj(self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Hamilton product `self * o` (apply `o` first, then `self`).
+    pub fn mul(self, o: Quat) -> Quat {
+        Quat {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        }
+    }
+
+    /// Rotate a vector. Uses the expanded rotation-matrix form (15 mul +
+    /// 15 add), the same arithmetic the SIMD transform kernel performs.
+    #[inline]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let Quat { w, x, y, z } = self;
+        let xx = x * x;
+        let yy = y * y;
+        let zz = z * z;
+        let xy = x * y;
+        let xz = x * z;
+        let yz = y * z;
+        let wx = w * x;
+        let wy = w * y;
+        let wz = w * z;
+        Vec3 {
+            x: v.x * (1.0 - 2.0 * (yy + zz)) + v.y * 2.0 * (xy - wz) + v.z * 2.0 * (xz + wy),
+            y: v.x * 2.0 * (xy + wz) + v.y * (1.0 - 2.0 * (xx + zz)) + v.z * 2.0 * (yz - wx),
+            z: v.x * 2.0 * (xz - wy) + v.y * 2.0 * (yz + wx) + v.z * (1.0 - 2.0 * (xx + yy)),
+        }
+    }
+
+    /// The 9 coefficients of the equivalent rotation matrix, row-major.
+    /// The SIMD transform kernel broadcasts these across lanes.
+    pub fn to_matrix(self) -> [f32; 9] {
+        let Quat { w, x, y, z } = self;
+        let xx = x * x;
+        let yy = y * y;
+        let zz = z * z;
+        let xy = x * y;
+        let xz = x * z;
+        let yz = y * z;
+        let wx = w * x;
+        let wy = w * y;
+        let wz = w * z;
+        [
+            1.0 - 2.0 * (yy + zz),
+            2.0 * (xy - wz),
+            2.0 * (xz + wy),
+            2.0 * (xy + wz),
+            1.0 - 2.0 * (xx + zz),
+            2.0 * (yz - wx),
+            2.0 * (xz - wy),
+            2.0 * (yz + wx),
+            1.0 - 2.0 * (xx + yy),
+        ]
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    fn close(a: Vec3, b: Vec3, tol: f32) -> bool {
+        (a - b).norm() < tol
+    }
+
+    #[test]
+    fn identity_rotation() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert!(close(Quat::IDENTITY.rotate(v), v, 1e-6));
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        let r = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!(close(r, Vec3::new(0.0, 1.0, 0.0), 1e-5), "{r}");
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.234);
+        for i in 0..50 {
+            let v = Vec3::new(i as f32 * 0.3, (i * i) as f32 * 0.01 - 1.0, 2.0 - i as f32 * 0.1);
+            let r = q.rotate(v);
+            assert!((r.norm() - v.norm()).abs() < 1e-4 * v.norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let q1 = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 0.7);
+        let q2 = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), -1.1);
+        let v = Vec3::new(1.5, -0.2, 0.8);
+        let seq = q2.rotate(q1.rotate(v));
+        let comp = q2.mul(q1).rotate(v);
+        assert!(close(seq, comp, 1e-5), "{seq} vs {comp}");
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 0.9);
+        let v = Vec3::new(0.3, 0.4, 0.5);
+        let back = q.conj().rotate(q.rotate(v));
+        assert!(close(back, v, 1e-5));
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let q = Quat::from_axis_angle(Vec3::new(0.3, -0.4, 0.87), 2.0 * PI);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(close(q.rotate(v), v, 1e-4));
+    }
+
+    #[test]
+    fn shoemake_is_unit() {
+        for i in 0..20 {
+            let u1 = (i as f32 * 0.05 + 0.01).min(0.99);
+            let q = Quat::from_uniforms(u1, 0.37, 0.81);
+            assert!((q.norm() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matrix_matches_rotate() {
+        let q = Quat::from_axis_angle(Vec3::new(2.0, -1.0, 0.4), 0.63);
+        let m = q.to_matrix();
+        let v = Vec3::new(0.9, -1.2, 2.1);
+        let mv = Vec3::new(
+            m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z,
+        );
+        assert!(close(mv, q.rotate(v), 1e-5));
+    }
+
+    #[test]
+    fn normalized_handles_degenerate() {
+        let q = Quat::new(0.0, 0.0, 0.0, 0.0).normalized();
+        assert_eq!(q, Quat::IDENTITY);
+        let q2 = Quat::new(2.0, 0.0, 0.0, 0.0).normalized();
+        assert!((q2.norm() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Structure-of-arrays conformation layout.
+//!
+//! The docking kernels vectorize over atoms (transform, inter-energy) and
+//! over pairs (intra-energy); both need coordinates as separate contiguous
+//! `x`/`y`/`z` streams, padded to the widest vector so kernels never handle
+//! tails. This AoS→SoA restructuring is one of the code transformations the
+//! paper lists as required for portable auto-vectorization (Section IX).
+
+use crate::molecule::Molecule;
+use crate::vec3::Vec3;
+
+/// Lane-count every array is padded to (AVX-512: 16 f32 lanes).
+pub const PAD: usize = 16;
+
+/// Coordinate that padding atoms are parked at: far from any receptor so
+/// every distance-cutoff mask removes them, but small enough that `r²`
+/// stays comfortably finite in f32.
+pub const PAD_COORD: f32 = 1.0e6;
+
+/// Round `n` up to a multiple of [`PAD`].
+#[inline]
+pub fn padded_len(n: usize) -> usize {
+    n.div_ceil(PAD) * PAD
+}
+
+/// Mutable per-pose coordinates in SoA form.
+#[derive(Clone, Debug, Default)]
+pub struct ConformSoA {
+    /// Number of real atoms (arrays are longer: padded).
+    pub n: usize,
+    pub x: Vec<f32>,
+    pub y: Vec<f32>,
+    pub z: Vec<f32>,
+}
+
+impl ConformSoA {
+    /// Capture the current coordinates of a molecule.
+    pub fn from_molecule(m: &Molecule) -> ConformSoA {
+        let n = m.atoms.len();
+        let len = padded_len(n);
+        let mut c = ConformSoA {
+            n,
+            x: vec![PAD_COORD; len],
+            y: vec![PAD_COORD; len],
+            z: vec![PAD_COORD; len],
+        };
+        for (i, a) in m.atoms.iter().enumerate() {
+            c.x[i] = a.pos.x;
+            c.y[i] = a.pos.y;
+            c.z[i] = a.pos.z;
+        }
+        c
+    }
+
+    /// Allocate a zeroed (padding-parked) conformation for `n` atoms.
+    pub fn with_capacity(n: usize) -> ConformSoA {
+        let len = padded_len(n);
+        ConformSoA {
+            n,
+            x: vec![PAD_COORD; len],
+            y: vec![PAD_COORD; len],
+            z: vec![PAD_COORD; len],
+        }
+    }
+
+    /// Copy real-atom coordinates from another conformation of the same
+    /// size (cheap per-generation reset in the docking loop).
+    pub fn copy_from(&mut self, other: &ConformSoA) {
+        debug_assert_eq!(self.n, other.n);
+        self.x.copy_from_slice(&other.x);
+        self.y.copy_from_slice(&other.y);
+        self.z.copy_from_slice(&other.z);
+    }
+
+    /// Padded array length.
+    #[inline]
+    pub fn len_padded(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Position of atom `i` as a vector.
+    #[inline]
+    pub fn pos(&self, i: usize) -> Vec3 {
+        Vec3::new(self.x[i], self.y[i], self.z[i])
+    }
+
+    /// Set position of atom `i`.
+    #[inline]
+    pub fn set_pos(&mut self, i: usize, p: Vec3) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.z[i] = p.z;
+    }
+
+    /// Centroid over real atoms.
+    pub fn centroid(&self) -> Vec3 {
+        let mut c = Vec3::ZERO;
+        for i in 0..self.n {
+            c += self.pos(i);
+        }
+        if self.n > 0 {
+            c / self.n as f32
+        } else {
+            c
+        }
+    }
+}
+
+/// Immutable per-atom scoring inputs in SoA form: type indices (for grid
+/// selection and parameter gathers), charges, volumes and solvation
+/// parameters. Built once per ligand.
+#[derive(Clone, Debug, Default)]
+pub struct AtomStatics {
+    /// Number of real atoms.
+    pub n: usize,
+    /// AutoDock type index per atom (i32 so SIMD kernels can load it
+    /// directly; padding atoms get type 0 with zeroed charge).
+    pub ty: Vec<i32>,
+    /// Partial charge.
+    pub charge: Vec<f32>,
+    /// Atomic fragmental volume.
+    pub vol: Vec<f32>,
+    /// Atomic solvation parameter `S = solpar + 0.01097·|q|`.
+    pub solv: Vec<f32>,
+    /// 1.0 for real atoms, 0.0 for padding lanes: kernels multiply
+    /// per-atom energies by this so padding contributes exactly zero.
+    pub wt: Vec<f32>,
+}
+
+impl AtomStatics {
+    pub fn from_molecule(m: &Molecule) -> AtomStatics {
+        let n = m.atoms.len();
+        let len = padded_len(n);
+        let mut s = AtomStatics {
+            n,
+            ty: vec![0; len],
+            charge: vec![0.0; len],
+            vol: vec![0.0; len],
+            solv: vec![0.0; len],
+            wt: vec![0.0; len],
+        };
+        s.wt[..n].fill(1.0);
+        for (i, a) in m.atoms.iter().enumerate() {
+            s.ty[i] = a.ty.idx() as i32;
+            s.charge[i] = a.charge;
+            s.vol[i] = mudock_ff::params::type_params(a.ty).vol;
+            s.solv[i] = mudock_ff::terms::solvation_param(a.ty, a.charge);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::Atom;
+    use mudock_ff::types::AtomType;
+
+    fn mol(n: usize) -> Molecule {
+        let mut m = Molecule::new("test");
+        for i in 0..n {
+            m.atoms.push(Atom::new(
+                Vec3::new(i as f32, 2.0 * i as f32, -(i as f32)),
+                AtomType::C,
+                0.01 * i as f32,
+            ));
+        }
+        m
+    }
+
+    #[test]
+    fn padding_rounds_up() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(1), 16);
+        assert_eq!(padded_len(16), 16);
+        assert_eq!(padded_len(17), 32);
+    }
+
+    #[test]
+    fn roundtrip_coordinates() {
+        let m = mol(10);
+        let c = ConformSoA::from_molecule(&m);
+        assert_eq!(c.n, 10);
+        assert_eq!(c.len_padded(), 16);
+        for (i, a) in m.atoms.iter().enumerate() {
+            assert_eq!(c.pos(i), a.pos);
+        }
+        // Padding parked far away.
+        for i in 10..16 {
+            assert_eq!(c.x[i], PAD_COORD);
+        }
+    }
+
+    #[test]
+    fn statics_capture_ff_parameters() {
+        let mut m = mol(3);
+        m.atoms[1].ty = AtomType::OA;
+        m.atoms[1].charge = -0.4;
+        let s = AtomStatics::from_molecule(&m);
+        assert_eq!(s.ty[1], AtomType::OA.idx() as i32);
+        assert_eq!(s.charge[1], -0.4);
+        assert!(s.vol[1] > 0.0);
+        // Solvation parameter includes the |q| term.
+        let expected = mudock_ff::terms::solvation_param(AtomType::OA, -0.4);
+        assert_eq!(s.solv[1], expected);
+        assert_eq!(&s.wt[..3], &[1.0, 1.0, 1.0]);
+        assert!(s.wt[3..].iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn copy_from_matches() {
+        let m = mol(20);
+        let a = ConformSoA::from_molecule(&m);
+        let mut b = ConformSoA::with_capacity(20);
+        b.copy_from(&a);
+        for i in 0..20 {
+            assert_eq!(a.pos(i), b.pos(i));
+        }
+    }
+
+    #[test]
+    fn centroid_matches_molecule() {
+        let m = mol(7);
+        let c = ConformSoA::from_molecule(&m);
+        let want = m.centroid();
+        let got = c.centroid();
+        assert!((got - want).norm() < 1e-4);
+    }
+}

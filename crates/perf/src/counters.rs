@@ -1,0 +1,192 @@
+//! Marker-region instrumentation — the software analogue of LIKWID's
+//! marker API, which the paper uses to scope all metrics to the docking
+//! and scoring kernels ("metrics refer only to the inner kernels via
+//! LIKWID markers", Section VII-e).
+//!
+//! Regions accumulate wall time and caller-reported work (FLOPs, bytes),
+//! from which derived metrics (GFLOP/s, arithmetic intensity) follow.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Accumulated measurements for one named region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionStats {
+    /// Times the region was entered.
+    pub invocations: u64,
+    /// Total wall time inside the region.
+    pub elapsed: Duration,
+    /// Floating-point operations reported by the caller.
+    pub flops: u64,
+    /// Bytes read from memory (caller-estimated).
+    pub bytes_read: u64,
+    /// Bytes written to memory (caller-estimated).
+    pub bytes_written: u64,
+}
+
+impl RegionStats {
+    /// GFLOP/s over the accumulated time.
+    pub fn gflops(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.flops as f64 / secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Arithmetic intensity in FLOP per byte of traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_read + self.bytes_written;
+        if bytes > 0 {
+            self.flops as f64 / bytes as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Bandwidth in GB/s over the accumulated time.
+    pub fn bandwidth_gbs(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            (self.bytes_read + self.bytes_written) as f64 / secs / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Thread-safe registry of marker regions.
+#[derive(Debug, Default)]
+pub struct PerfMonitor {
+    regions: Mutex<HashMap<String, RegionStats>>,
+}
+
+impl PerfMonitor {
+    pub fn new() -> PerfMonitor {
+        PerfMonitor::default()
+    }
+
+    /// Start a measurement; finish it with [`Measurement::stop`].
+    pub fn start<'a>(&'a self, region: &str) -> Measurement<'a> {
+        Measurement {
+            monitor: self,
+            region: region.to_string(),
+            begun: Instant::now(),
+        }
+    }
+
+    /// Record a fully-described interval directly (for callers that time
+    /// themselves).
+    pub fn record(
+        &self,
+        region: &str,
+        elapsed: Duration,
+        flops: u64,
+        bytes_read: u64,
+        bytes_written: u64,
+    ) {
+        let mut map = self.regions.lock();
+        let r = map.entry(region.to_string()).or_default();
+        r.invocations += 1;
+        r.elapsed += elapsed;
+        r.flops += flops;
+        r.bytes_read += bytes_read;
+        r.bytes_written += bytes_written;
+    }
+
+    /// Snapshot of one region's stats.
+    pub fn region(&self, name: &str) -> Option<RegionStats> {
+        self.regions.lock().get(name).cloned()
+    }
+
+    /// Snapshot of all regions, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, RegionStats)> {
+        let map = self.regions.lock();
+        let mut v: Vec<(String, RegionStats)> =
+            map.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Drop all accumulated data.
+    pub fn reset(&self) {
+        self.regions.lock().clear();
+    }
+}
+
+/// An in-flight region measurement (RAII-less by design: work counts are
+/// only known at the end).
+pub struct Measurement<'a> {
+    monitor: &'a PerfMonitor,
+    region: String,
+    begun: Instant,
+}
+
+impl Measurement<'_> {
+    /// Finish the measurement, attributing the given work to the region.
+    pub fn stop(self, flops: u64, bytes_read: u64, bytes_written: u64) {
+        let elapsed = self.begun.elapsed();
+        self.monitor
+            .record(&self.region, elapsed, flops, bytes_read, bytes_written);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_invocations() {
+        let m = PerfMonitor::new();
+        m.record("k", Duration::from_millis(10), 1000, 64, 32);
+        m.record("k", Duration::from_millis(30), 3000, 128, 0);
+        let r = m.region("k").unwrap();
+        assert_eq!(r.invocations, 2);
+        assert_eq!(r.flops, 4000);
+        assert_eq!(r.bytes_read, 192);
+        assert_eq!(r.elapsed, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let m = PerfMonitor::new();
+        m.record("k", Duration::from_secs(1), 2_000_000_000, 500_000_000, 500_000_000);
+        let r = m.region("k").unwrap();
+        assert!((r.gflops() - 2.0).abs() < 1e-9);
+        assert!((r.arithmetic_intensity() - 2.0).abs() < 1e-9);
+        assert!((r.bandwidth_gbs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marker_api_measures_time() {
+        let m = PerfMonitor::new();
+        let meas = m.start("sleepy");
+        std::thread::sleep(Duration::from_millis(5));
+        meas.stop(10, 0, 0);
+        let r = m.region("sleepy").unwrap();
+        assert!(r.elapsed >= Duration::from_millis(4));
+        assert_eq!(r.flops, 10);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_reset() {
+        let m = PerfMonitor::new();
+        m.record("b", Duration::ZERO, 0, 0, 0);
+        m.record("a", Duration::ZERO, 0, 0, 0);
+        let snap = m.snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "b");
+        m.reset();
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn zero_time_has_safe_metrics() {
+        let r = RegionStats::default();
+        assert_eq!(r.gflops(), 0.0);
+        assert!(r.arithmetic_intensity().is_infinite());
+    }
+}

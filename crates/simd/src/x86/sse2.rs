@@ -1,0 +1,267 @@
+//! SSE2 backend: 128-bit vectors, 4 × f32 lanes, no FMA.
+//!
+//! SSE2 is part of the x86-64 baseline, so [`Sse2::try_new`] always succeeds
+//! on this architecture. This backend doubles as the paper's observation
+//! that the x86 "no-vectorization" floor is still 128-bit SSE code
+//! (Section VIII-a): even scalar builds use these registers.
+
+use core::arch::x86_64::*;
+
+use crate::traits::Simd;
+
+/// SSE2 proof token (always available on x86-64).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sse2 {
+    _priv: (),
+}
+
+impl Sse2 {
+    /// SSE2 is mandatory on x86-64; detection always succeeds.
+    #[inline]
+    pub fn try_new() -> Option<Self> {
+        Some(Sse2 { _priv: () })
+    }
+
+    /// # Safety
+    /// The caller asserts SSE2 support (always true on x86-64).
+    #[inline]
+    pub unsafe fn new_unchecked() -> Self {
+        Sse2 { _priv: () }
+    }
+}
+
+impl Simd for Sse2 {
+    const LANES: usize = 4;
+    const NAME: &'static str = "sse2";
+    const WIDTH_BITS: usize = 128;
+
+    type V = __m128;
+    type VI = __m128i;
+    type M = __m128;
+
+    #[inline]
+    fn vectorize<R, F: FnOnce(Self) -> R>(self, f: F) -> R {
+        #[target_feature(enable = "sse2")]
+        #[inline]
+        unsafe fn inner<R, F: FnOnce(Sse2) -> R>(s: Sse2, f: F) -> R {
+            f(s)
+        }
+        // SAFETY: token existence proves SSE2 support.
+        unsafe { inner(self, f) }
+    }
+
+    #[inline(always)]
+    fn splat(self, x: f32) -> __m128 {
+        unsafe { _mm_set1_ps(x) }
+    }
+    #[inline(always)]
+    fn splat_i32(self, x: i32) -> __m128i {
+        unsafe { _mm_set1_epi32(x) }
+    }
+    #[inline(always)]
+    fn iota(self) -> __m128 {
+        unsafe { _mm_setr_ps(0.0, 1.0, 2.0, 3.0) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[f32]) -> __m128 {
+        assert!(src.len() >= 4, "load needs at least 4 elements");
+        unsafe { _mm_loadu_ps(src.as_ptr()) }
+    }
+    #[inline(always)]
+    fn load_or(self, src: &[f32], fill: f32) -> __m128 {
+        if src.len() >= 4 {
+            unsafe { _mm_loadu_ps(src.as_ptr()) }
+        } else {
+            let mut buf = [fill; 4];
+            buf[..src.len()].copy_from_slice(src);
+            unsafe { _mm_loadu_ps(buf.as_ptr()) }
+        }
+    }
+    #[inline(always)]
+    fn load_i32(self, src: &[i32]) -> __m128i {
+        assert!(src.len() >= 4, "load_i32 needs at least 4 elements");
+        unsafe { _mm_loadu_si128(src.as_ptr() as *const __m128i) }
+    }
+    #[inline(always)]
+    fn store(self, v: __m128, dst: &mut [f32]) {
+        assert!(dst.len() >= 4, "store needs at least 4 elements");
+        unsafe { _mm_storeu_ps(dst.as_mut_ptr(), v) }
+    }
+    #[inline(always)]
+    fn store_i32(self, v: __m128i, dst: &mut [i32]) {
+        assert!(dst.len() >= 4, "store_i32 needs at least 4 elements");
+        unsafe { _mm_storeu_si128(dst.as_mut_ptr() as *mut __m128i, v) }
+    }
+
+    #[inline(always)]
+    fn add(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_add_ps(a, b) }
+    }
+    #[inline(always)]
+    fn sub(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_sub_ps(a, b) }
+    }
+    #[inline(always)]
+    fn mul(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_mul_ps(a, b) }
+    }
+    #[inline(always)]
+    fn div(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_div_ps(a, b) }
+    }
+    #[inline(always)]
+    fn min(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_min_ps(a, b) }
+    }
+    #[inline(always)]
+    fn max(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_max_ps(a, b) }
+    }
+    #[inline(always)]
+    fn mul_add(self, a: __m128, b: __m128, c: __m128) -> __m128 {
+        // SSE2 has no fused multiply-add: two rounded operations.
+        unsafe { _mm_add_ps(_mm_mul_ps(a, b), c) }
+    }
+    #[inline(always)]
+    fn neg(self, a: __m128) -> __m128 {
+        unsafe { _mm_xor_ps(a, _mm_set1_ps(-0.0)) }
+    }
+    #[inline(always)]
+    fn abs(self, a: __m128) -> __m128 {
+        unsafe { _mm_andnot_ps(_mm_set1_ps(-0.0), a) }
+    }
+    #[inline(always)]
+    fn sqrt(self, a: __m128) -> __m128 {
+        unsafe { _mm_sqrt_ps(a) }
+    }
+    #[inline(always)]
+    fn recip_fast(self, a: __m128) -> __m128 {
+        unsafe { _mm_rcp_ps(a) }
+    }
+    #[inline(always)]
+    fn rsqrt_fast(self, a: __m128) -> __m128 {
+        unsafe { _mm_rsqrt_ps(a) }
+    }
+
+    #[inline(always)]
+    fn lt(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_cmplt_ps(a, b) }
+    }
+    #[inline(always)]
+    fn le(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_cmple_ps(a, b) }
+    }
+    #[inline(always)]
+    fn gt(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_cmpgt_ps(a, b) }
+    }
+    #[inline(always)]
+    fn ge(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_cmpge_ps(a, b) }
+    }
+    #[inline(always)]
+    fn select(self, m: __m128, t: __m128, f: __m128) -> __m128 {
+        unsafe { _mm_or_ps(_mm_and_ps(m, t), _mm_andnot_ps(m, f)) }
+    }
+    #[inline(always)]
+    fn mask_and(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_and_ps(a, b) }
+    }
+    #[inline(always)]
+    fn mask_or(self, a: __m128, b: __m128) -> __m128 {
+        unsafe { _mm_or_ps(a, b) }
+    }
+    #[inline(always)]
+    fn any(self, m: __m128) -> bool {
+        unsafe { _mm_movemask_ps(m) != 0 }
+    }
+    #[inline(always)]
+    fn all(self, m: __m128) -> bool {
+        unsafe { _mm_movemask_ps(m) == 0xF }
+    }
+
+    #[inline(always)]
+    fn round_i32(self, v: __m128) -> __m128i {
+        unsafe { _mm_cvtps_epi32(v) }
+    }
+    #[inline(always)]
+    fn trunc_i32(self, v: __m128) -> __m128i {
+        unsafe { _mm_cvttps_epi32(v) }
+    }
+    #[inline(always)]
+    fn i32_to_f32(self, v: __m128i) -> __m128 {
+        unsafe { _mm_cvtepi32_ps(v) }
+    }
+    #[inline(always)]
+    fn bitcast_f32_i32(self, v: __m128) -> __m128i {
+        unsafe { _mm_castps_si128(v) }
+    }
+    #[inline(always)]
+    fn bitcast_i32_f32(self, v: __m128i) -> __m128 {
+        unsafe { _mm_castsi128_ps(v) }
+    }
+    #[inline(always)]
+    fn i32_add(self, a: __m128i, b: __m128i) -> __m128i {
+        unsafe { _mm_add_epi32(a, b) }
+    }
+    #[inline(always)]
+    fn i32_sub(self, a: __m128i, b: __m128i) -> __m128i {
+        unsafe { _mm_sub_epi32(a, b) }
+    }
+    #[inline(always)]
+    fn i32_and(self, a: __m128i, b: __m128i) -> __m128i {
+        unsafe { _mm_and_si128(a, b) }
+    }
+    #[inline(always)]
+    fn i32_shl<const IMM: i32>(self, a: __m128i) -> __m128i {
+        unsafe { _mm_slli_epi32::<IMM>(a) }
+    }
+    #[inline(always)]
+    fn i32_shr<const IMM: i32>(self, a: __m128i) -> __m128i {
+        unsafe { _mm_srli_epi32::<IMM>(a) }
+    }
+
+    #[inline(always)]
+    unsafe fn gather_unchecked(self, table: &[f32], idx: __m128i) -> __m128 {
+        // SSE2 has no hardware gather: emulate with scalar loads, which is
+        // exactly what compilers emit for lookup loops at this ISA level.
+        let mut ix = [0i32; 4];
+        _mm_storeu_si128(ix.as_mut_ptr() as *mut __m128i, idx);
+        debug_assert!(ix.iter().all(|&i| (i as usize) < table.len()));
+        _mm_setr_ps(
+            *table.get_unchecked(ix[0] as usize),
+            *table.get_unchecked(ix[1] as usize),
+            *table.get_unchecked(ix[2] as usize),
+            *table.get_unchecked(ix[3] as usize),
+        )
+    }
+
+    #[inline(always)]
+    fn reduce_add(self, v: __m128) -> f32 {
+        unsafe {
+            let hi = _mm_movehl_ps(v, v);
+            let sum2 = _mm_add_ps(v, hi);
+            let lane1 = _mm_shuffle_ps::<0b01>(sum2, sum2);
+            _mm_cvtss_f32(_mm_add_ss(sum2, lane1))
+        }
+    }
+    #[inline(always)]
+    fn reduce_min(self, v: __m128) -> f32 {
+        unsafe {
+            let hi = _mm_movehl_ps(v, v);
+            let m2 = _mm_min_ps(v, hi);
+            let lane1 = _mm_shuffle_ps::<0b01>(m2, m2);
+            _mm_cvtss_f32(_mm_min_ss(m2, lane1))
+        }
+    }
+    #[inline(always)]
+    fn reduce_max(self, v: __m128) -> f32 {
+        unsafe {
+            let hi = _mm_movehl_ps(v, v);
+            let m2 = _mm_max_ps(v, hi);
+            let lane1 = _mm_shuffle_ps::<0b01>(m2, m2);
+            _mm_cvtss_f32(_mm_max_ss(m2, lane1))
+        }
+    }
+}

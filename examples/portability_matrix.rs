@@ -1,0 +1,41 @@
+//! Regenerate the paper's Figure 6 performance-portability matrix from the
+//! cross-architecture model (plus the host's real backend spread).
+//!
+//! ```text
+//! cargo run --release --example portability_matrix
+//! ```
+
+use mudock::archsim::Study;
+
+fn main() {
+    println!("building the cross-architecture study (runs short real docking)…\n");
+    let study = Study::new();
+    let m = study.fig6();
+
+    print!("{:<10}", "Arch");
+    for c in &m.compilers {
+        print!("{c:>8}");
+    }
+    println!();
+    for (r, arch) in m.archs.iter().enumerate() {
+        print!("{arch:<10}");
+        for eff in &m.eff[r] {
+            match eff {
+                Some(e) => print!("{e:>8.2}"),
+                None => print!("{:>8}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<10}", "H-mean");
+    for h in m.harmonic_means() {
+        print!("{h:>8.2}");
+    }
+    println!("\n\npaper Figure 6 for comparison:");
+    println!("  grace:    GCC .50  Clang 1.00  HWY .76  NVCC .43");
+    println!("  genoa:    GCC 1.00 Clang .78   HWY .93  AOCC .91");
+    println!("  spr:      GCC .71  Clang .75   HWY 1.00 ICPX .85");
+    println!("  a64fx:    GCC .12  Clang .84   HWY .80  FCC 1.00");
+    println!("  graviton: GCC .49  Clang 1.00  HWY .73");
+    println!("  H-means:  GCC .33  Clang .86   HWY .83  (vendor compilers 0)");
+}

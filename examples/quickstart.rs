@@ -1,0 +1,60 @@
+//! Quickstart: dock one ligand into a receptor pocket and print the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mudock::core::{Backend, DockParams, DockingEngine, GaParams, LigandPrep};
+use mudock::grids::{GridBuilder, GridDims};
+use mudock::mol::Vec3;
+use mudock::simd::SimdLevel;
+
+fn main() {
+    // 1. Inputs: a receptor + ligand (the PDBbind-1a30-like bundled complex;
+    //    real PDBQT files load via mudock::molio::parse).
+    let (receptor, ligand) = mudock::molio::complex_1a30_like();
+    println!(
+        "receptor: {} atoms | ligand: {} atoms, {} rotatable bonds",
+        receptor.atoms.len(),
+        ligand.atoms.len(),
+        ligand.num_rotatable_bonds()
+    );
+
+    // 2. AutoGrid step: precompute interaction maps around the pocket for
+    //    the ligand's atom types.
+    let mut types: Vec<mudock::ff::AtomType> = ligand.atoms.iter().map(|a| a.ty).collect();
+    types.sort_unstable();
+    types.dedup();
+    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.5);
+    let level = SimdLevel::detect();
+    println!("building grid maps ({} points/map) with {level}…", dims.total());
+    let maps = GridBuilder::new(&receptor, dims).with_types(&types).build_simd(level);
+
+    // 3. Dock: genetic algorithm over poses, explicit SIMD scoring.
+    let engine = DockingEngine::new(&maps).expect("grid fits the engine");
+    let prep = LigandPrep::new(ligand).expect("valid ligand");
+    let params = DockParams {
+        ga: GaParams { population: 100, generations: 120, ..Default::default() },
+        seed: 42,
+        backend: Backend::Explicit(level),
+        search_radius: Some(5.0),
+        local_search: None,
+    };
+    let t0 = std::time::Instant::now();
+    let report = engine.dock(&prep, &params).expect("docking succeeds");
+    let dt = t0.elapsed();
+
+    println!(
+        "\nbest score: {:.3} kcal/mol after {} pose evaluations in {:.2?}",
+        report.best_score, report.evaluations, dt
+    );
+    println!(
+        "pose: translation {}, {} torsions",
+        report.best_genotype.translation(),
+        report.best_genotype.n_torsions()
+    );
+    println!("\nconvergence (best score per 10 generations):");
+    for (i, chunk) in report.history.chunks(10).enumerate() {
+        println!("  gen {:>4}: {:>10.3}", i * 10, chunk[0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Roofline analysis of this host: measure peak FLOP/s and bandwidth with
+//! the likwid-bench-style microbenchmarks, place the real docking kernels
+//! on the plot (paper Figure 5 methodology, applied to the actual machine).
+//!
+//! ```text
+//! cargo run --release --example roofline
+//! ```
+
+use mudock::core::Backend;
+use mudock::perf::{peak, KernelPoint, Roofline};
+
+fn main() {
+    println!("measuring host peaks (likwid-bench style)…");
+    let scalar_gflops = peak::peakflops_scalar(3_000_000);
+    let bw = peak::load_bandwidth(64, 3);
+    println!("  scalar FMA peak ≈ {scalar_gflops:.2} GFLOP/s per core");
+    println!("  streaming load bandwidth ≈ {bw:.2} GB/s\n");
+
+    let lanes = mudock::simd::SimdLevel::detect().lanes() as f64;
+    let roof = Roofline::new("host", bw)
+        .with_ceiling("sp_scalar", scalar_gflops)
+        .with_ceiling("sp_vector+fma", scalar_gflops * lanes);
+
+    // Place the real pose-scoring kernel: FLOPs estimated from the kernel
+    // templates (see mudock-archsim::opmix), time measured on this host.
+    let wl = mudock_bench_shim::host_workload();
+    let flops_per_pose = (wl.prep.pairs.n as f64) * 94.0 + (wl.prep.base.n as f64) * 80.0;
+    println!("roofline ({}):", roof.name);
+    for (ai, gf) in roof.series(0.05, 200.0, 12) {
+        println!("  AI {ai:>8.2} → attainable {gf:>8.1} GFLOP/s");
+    }
+    println!("\nkernel points (scoring one pose end-to-end):");
+    for backend in Backend::available() {
+        let secs = wl.seconds_per_pose(backend);
+        let gflops = flops_per_pose / secs / 1e9;
+        // Docking is compute-bound: most traffic is cache-resident, only
+        // ~1 % leaks to DRAM (Table V), so AI is high.
+        let ai = 50.0;
+        let p = KernelPoint { ai, gflops };
+        println!(
+            "  {:<10} {:>8.2} GFLOP/s ({:>5.1}% of roof at AI {ai})",
+            backend.name(),
+            gflops,
+            100.0 * roof.efficiency(p)
+        );
+    }
+}
+
+/// Tiny local shim so the example does not depend on the bench crate.
+mod mudock_bench_shim {
+    use mudock::core::{DockingEngine, Genotype, LigandPrep};
+    use mudock::grids::{GridBuilder, GridDims, GridSet};
+    use mudock::mol::{ConformSoA, Vec3};
+    use mudock::simd::SimdLevel;
+
+    pub struct Wl {
+        pub grids: GridSet,
+        pub prep: LigandPrep,
+        poses: Vec<Genotype>,
+    }
+
+    impl Wl {
+        pub fn seconds_per_pose(&self, backend: mudock::core::Backend) -> f64 {
+            let engine = DockingEngine::new(&self.grids).unwrap();
+            let mut scratch = ConformSoA::with_capacity(self.prep.base.n);
+            let mut sink = 0.0;
+            for p in &self.poses {
+                sink += engine.score(&self.prep, p, &mut scratch, backend);
+            }
+            let t0 = std::time::Instant::now();
+            for p in &self.poses {
+                sink += engine.score(&self.prep, p, &mut scratch, backend);
+            }
+            std::hint::black_box(sink);
+            t0.elapsed().as_secs_f64() / self.poses.len() as f64
+        }
+    }
+
+    pub fn host_workload() -> Wl {
+        use rand::{rngs::StdRng, SeedableRng};
+        let (receptor, ligand) = mudock::molio::complex_1a30_like();
+        let mut types: Vec<mudock::ff::AtomType> =
+            ligand.atoms.iter().map(|a| a.ty).collect();
+        types.sort_unstable();
+        types.dedup();
+        let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.55);
+        let grids = GridBuilder::new(&receptor, dims)
+            .with_types(&types)
+            .build_simd(SimdLevel::detect());
+        let prep = LigandPrep::new(ligand).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let poses = (0..300)
+            .map(|_| Genotype::random(&mut rng, prep.n_torsions(), Vec3::ZERO, 6.0))
+            .collect();
+        Wl { grids, prep, poses }
+    }
+}

@@ -1,0 +1,248 @@
+//! `mudock` — command-line front end for the docking pipeline.
+//!
+//! ```text
+//! mudock info   <ligand.pdbqt>                       # inspect a molecule
+//! mudock dock   --receptor R.pdbqt --ligand L.pdbqt  # dock one ligand
+//!               [--backend avx2|autovec|reference|…]
+//!               [--generations N] [--population P] [--seed S]
+//!               [--local-search] [--out pose.pdbqt]
+//! mudock dock   --demo                               # bundled 1a30-like complex
+//! mudock screen --demo N [--threads T]               # synthetic screening batch
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI-crate dependency, matching the
+//! workspace's minimal dependency policy).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mudock::core::{
+    screen, Backend, DockParams, DockingEngine, GaParams, LigandPrep, SolisWetsParams,
+};
+use mudock::grids::{GridBuilder, GridDims};
+use mudock::mol::{Molecule, Vec3};
+use mudock::simd::SimdLevel;
+
+fn usage() -> &'static str {
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n\noptions:\n  --backend <reference|autovec|sse2|avx2|avx512>   (default: best available)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen only)"
+}
+
+/// Split argv into flags (`--k v` / bare `--k`) and positionals.
+fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+fn load(path: &str) -> Result<Molecule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    mudock::molio::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_info(positional: &[String]) -> Result<(), String> {
+    let path = positional.first().ok_or("info needs a file")?;
+    let mol = load(path)?;
+    mol.validate().map_err(|e| e.to_string())?;
+    let topo = mudock::mol::Topology::build(&mol);
+    println!("name:            {}", if mol.name.is_empty() { "(unnamed)" } else { &mol.name });
+    println!("atoms:           {}", mol.atoms.len());
+    println!(
+        "heavy atoms:     {}",
+        mol.atoms.iter().filter(|a| !a.ty.is_hydrogen()).count()
+    );
+    println!("bonds:           {}", mol.bonds.len());
+    println!("rotatable bonds: {} ({} usable torsions)", mol.num_rotatable_bonds(), topo.torsions.len());
+    println!("scored pairs:    {}", topo.pairs.len());
+    println!("net charge:      {:+.3} e", mol.total_charge());
+    println!("radius:          {:.2} Å", mol.radius());
+    let mut types: Vec<String> = mol.atoms.iter().map(|a| a.ty.label().to_string()).collect();
+    types.sort();
+    types.dedup();
+    println!("atom types:      {}", types.join(" "));
+    Ok(())
+}
+
+fn backend_from(flags: &HashMap<String, String>) -> Result<Backend, String> {
+    match flags.get("backend") {
+        None => Ok(Backend::Explicit(SimdLevel::detect())),
+        Some(name) => Backend::parse(name).ok_or_else(|| format!("unknown backend '{name}'")),
+    }
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+    }
+}
+
+fn params_from(flags: &HashMap<String, String>) -> Result<DockParams, String> {
+    Ok(DockParams {
+        ga: GaParams {
+            population: num(flags, "population", 100usize)?,
+            generations: num(flags, "generations", 150usize)?,
+            ..Default::default()
+        },
+        seed: num(flags, "seed", 42u64)?,
+        backend: backend_from(flags)?,
+        search_radius: flags
+            .get("radius")
+            .map(|v| v.parse().map_err(|_| format!("bad --radius '{v}'")))
+            .transpose()?,
+        local_search: if flags.contains_key("local-search") {
+            Some(SolisWetsParams::default())
+        } else {
+            None
+        },
+    })
+}
+
+fn complex_from(flags: &HashMap<String, String>) -> Result<(Molecule, Molecule), String> {
+    if flags.contains_key("demo") {
+        let (r, l) = mudock::molio::complex_1a30_like();
+        return Ok((r, l));
+    }
+    let r = load(flags.get("receptor").ok_or("need --receptor or --demo")?)?;
+    let l = load(flags.get("ligand").ok_or("need --ligand or --demo")?)?;
+    Ok((r, l))
+}
+
+fn build_grids(receptor: &Molecule, ligands: &[&Molecule]) -> mudock::grids::GridSet {
+    let mut types: Vec<mudock::ff::AtomType> = ligands
+        .iter()
+        .flat_map(|l| l.atoms.iter().map(|a| a.ty))
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+    // Box centered on the receptor pocket, covering the receptor span.
+    let center = receptor.centroid();
+    let extent = (receptor.radius() + 3.0).clamp(8.0, 14.0);
+    let dims = GridDims::centered(center, extent, 0.55);
+    GridBuilder::new(receptor, dims)
+        .with_types(&types)
+        .build_simd(SimdLevel::detect())
+}
+
+fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (receptor, ligand) = complex_from(flags)?;
+    let params = params_from(flags)?;
+    eprintln!(
+        "docking {} ({} atoms) into {} ({} atoms) with backend {}…",
+        if ligand.name.is_empty() { "ligand" } else { &ligand.name },
+        ligand.atoms.len(),
+        if receptor.name.is_empty() { "receptor" } else { &receptor.name },
+        receptor.atoms.len(),
+        params.backend
+    );
+    let grids = build_grids(&receptor, &[&ligand]);
+    let engine = DockingEngine::new(&grids).map_err(|e| e.to_string())?;
+    let prep = LigandPrep::new(ligand).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let report = engine.dock(&prep, &params).map_err(|e| e.to_string())?;
+    println!(
+        "best score: {:.3} kcal/mol  ({} evaluations in {:.2?})",
+        report.best_score,
+        report.evaluations,
+        t0.elapsed()
+    );
+    println!(
+        "improvement: {:.3} → {:.3} over {} generations",
+        report.history[0],
+        report.history.last().unwrap(),
+        report.history.len()
+    );
+
+    if let Some(out) = flags.get("out") {
+        // Write the best pose: transform a copy of the prepared molecule.
+        let mut posed = prep.mol.clone();
+        let mut conf = mudock::mol::ConformSoA::with_capacity(prep.base.n);
+        mudock::core::transform::apply_pose_reference(
+            &prep.base,
+            &prep.plans,
+            &report.best_genotype,
+            &mut conf,
+        );
+        for (i, a) in posed.atoms.iter_mut().enumerate() {
+            a.pos = conf.pos(i);
+        }
+        posed.name = format!("{} (docked)", posed.name);
+        std::fs::write(out, mudock::molio::write(&posed)).map_err(|e| e.to_string())?;
+        println!("best pose written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
+    if !flags.contains_key("demo") {
+        return Err("screen currently supports --demo N (synthetic batch)".into());
+    }
+    let n: usize = flags
+        .get("demo")
+        .and_then(|v| if v.is_empty() { None } else { v.parse().ok() })
+        .unwrap_or(16);
+    let threads = num(flags, "threads", mudock::pool::default_threads())?;
+    let mut params = params_from(flags)?;
+    if !flags.contains_key("generations") {
+        params.ga.generations = 60; // keep the demo snappy
+    }
+    let receptor = mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0);
+    let ligands = mudock::molio::mediate_like_set(params.seed, n);
+    eprintln!("screening {n} synthetic ligands on {threads} threads…");
+    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
+    let grids = GridBuilder::new(&receptor, dims).build_simd(SimdLevel::detect());
+    let summary = screen(&grids, &ligands, &params, threads);
+    println!(
+        "{} ligands in {:.2?} → {:.1} ligands/s",
+        summary.results.len(),
+        summary.elapsed,
+        summary.throughput
+    );
+    println!("\nrank  ligand                              score (kcal/mol)");
+    for (rank, idx) in summary.top_k(10.min(n)).into_iter().enumerate() {
+        let r = &summary.results[idx];
+        println!("{:>4}  {:<34} {:>10.3}", rank + 1, r.name, r.best_score.unwrap());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let (flags, positional) = parse_args(&args[1..]);
+    let result = match cmd.as_str() {
+        "info" => cmd_info(&positional),
+        "dock" => cmd_dock(&flags),
+        "screen" => cmd_screen(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end pipeline: generate → serialize → parse → prepare → grid →
+//! dock, across every backend available on this host.
+
+use mudock::core::{Backend, DockParams, DockingEngine, GaParams, LigandPrep};
+use mudock::grids::{GridBuilder, GridDims};
+use mudock::mol::Vec3;
+use mudock::simd::SimdLevel;
+
+fn params(backend: Backend) -> DockParams {
+    DockParams {
+        ga: GaParams { population: 24, generations: 18, ..Default::default() },
+        seed: 77,
+        backend,
+        search_radius: Some(4.5),
+        local_search: None,
+    }
+}
+
+#[test]
+fn full_pipeline_through_pdbqt_roundtrip() {
+    // Generate a complex, push the ligand through its on-disk format.
+    let (receptor, ligand) = mudock::molio::complex_1a30_like();
+    let text = mudock::molio::write(&ligand);
+    let ligand2 = mudock::molio::parse(&text).expect("roundtrip parse");
+    assert_eq!(ligand.atoms.len(), ligand2.atoms.len());
+    assert_eq!(
+        ligand.num_rotatable_bonds(),
+        ligand2.num_rotatable_bonds(),
+        "rotatable bonds survive serialization"
+    );
+
+    let mut types: Vec<mudock::ff::AtomType> = ligand2.atoms.iter().map(|a| a.ty).collect();
+    types.sort_unstable();
+    types.dedup();
+    let dims = GridDims::centered(Vec3::ZERO, 10.0, 0.65);
+    let maps = GridBuilder::new(&receptor, dims)
+        .with_types(&types)
+        .build_simd(SimdLevel::detect());
+    let engine = DockingEngine::new(&maps).unwrap();
+    let prep = LigandPrep::new(ligand2).unwrap();
+
+    let report = engine
+        .dock(&prep, &params(Backend::Explicit(SimdLevel::detect())))
+        .unwrap();
+    assert!(report.best_score.is_finite());
+    assert!(
+        report.history.last().unwrap() < &report.history[0],
+        "GA improved from {} to {}",
+        report.history[0],
+        report.history.last().unwrap()
+    );
+}
+
+#[test]
+fn every_backend_docks_and_improves() {
+    let (receptor, ligand) = mudock::molio::complex_1a30_like();
+    let mut types: Vec<mudock::ff::AtomType> = ligand.atoms.iter().map(|a| a.ty).collect();
+    types.sort_unstable();
+    types.dedup();
+    let dims = GridDims::centered(Vec3::ZERO, 10.0, 0.65);
+    let maps = GridBuilder::new(&receptor, dims)
+        .with_types(&types)
+        .build_simd(SimdLevel::detect());
+    let engine = DockingEngine::new(&maps).unwrap();
+    let prep = LigandPrep::new(ligand).unwrap();
+
+    for backend in Backend::available() {
+        let report = engine.dock(&prep, &params(backend)).unwrap();
+        assert!(
+            report.best_score.is_finite(),
+            "{backend}: non-finite best score"
+        );
+        let first = report.history[0];
+        let last = *report.history.last().unwrap();
+        assert!(last <= first, "{backend}: no improvement ({first} → {last})");
+        assert_eq!(report.evaluations, 24 * 18, "{backend}");
+    }
+}
+
+#[test]
+fn screening_pipeline_with_pool() {
+    let receptor = mudock::molio::synthetic_receptor(5, 200, 9.0);
+    let ligands = mudock::molio::mediate_like_set(9, 8);
+    let dims = GridDims::centered(Vec3::ZERO, 10.5, 0.7);
+    let maps = GridBuilder::new(&receptor, dims).build_simd(SimdLevel::detect());
+    let summary = mudock::core::screen(
+        &maps,
+        &ligands,
+        &params(Backend::Explicit(SimdLevel::detect())),
+        2,
+    );
+    assert_eq!(summary.results.len(), 8);
+    assert!(summary.results.iter().all(|r| r.best_score.is_some()));
+    let top = summary.top_k(3);
+    assert_eq!(top.len(), 3);
+    // Ranking is by score ascending.
+    let s = |i: usize| summary.results[top[i]].best_score.unwrap();
+    assert!(s(0) <= s(1) && s(1) <= s(2));
+}
+
+#[test]
+fn dock_rejects_ligand_with_unbuilt_maps() {
+    let (receptor, ligand) = mudock::molio::complex_1a30_like();
+    // Build only the carbon map; the ligand needs more.
+    let dims = GridDims::centered(Vec3::ZERO, 8.0, 0.8);
+    let maps = GridBuilder::new(&receptor, dims)
+        .with_types(&[mudock::ff::AtomType::C])
+        .build_scalar();
+    let engine = DockingEngine::new(&maps).unwrap();
+    let prep = LigandPrep::new(ligand).unwrap();
+    assert!(engine
+        .dock(&prep, &params(Backend::AutoVec))
+        .is_err());
+}
