@@ -22,7 +22,10 @@ fn main() {
     println!("harmonic: {:?}", m.harmonic_means());
     println!("== fig3 ==");
     for p in study.fig3() {
-        println!("{:9} {:7} ratio {:5.2} speedup {:5.2}", p.arch, p.compiler, p.vec_ratio, p.speedup);
+        println!(
+            "{:9} {:7} ratio {:5.2} speedup {:5.2}",
+            p.arch, p.compiler, p.vec_ratio, p.speedup
+        );
     }
     println!("== fig4 stalls ==");
     for p in study.fig4() {
@@ -34,10 +37,16 @@ fn main() {
     }
     println!("== fig7 ==");
     for p in study.fig7() {
-        println!("{:9} {:7} cost {:9.6}$ energy {:8.2} J", p.arch, p.compiler, p.cost_per_ligand, p.energy_per_ligand);
+        println!(
+            "{:9} {:7} cost {:9.6}$ energy {:8.2} J",
+            p.arch, p.compiler, p.cost_per_ligand, p.energy_per_ligand
+        );
     }
     println!("== tables 4/5 ==");
     for r in study.tables45() {
-        println!("{:9} llc {:9.2e} -> {:9.2e}   ai {:8.1} -> {:8.1}", r.arch, r.llc_miss_single, r.llc_miss_multi, r.ai_single, r.ai_multi);
+        println!(
+            "{:9} llc {:9.2e} -> {:9.2e}   ai {:8.1} -> {:8.1}",
+            r.arch, r.llc_miss_single, r.llc_miss_multi, r.ai_single, r.ai_multi
+        );
     }
 }

@@ -153,9 +153,30 @@ pub fn spr() -> ArchConfig {
         vector_regs: 220,
         rob: 512,
         caches: vec![
-            CacheLevel { name: "L1d", size_kib: 48, assoc: 12, line_bytes: 64, shared_by: 1, latency_cycles: 5.0 },
-            CacheLevel { name: "L2", size_kib: 2048, assoc: 16, line_bytes: 64, shared_by: 1, latency_cycles: 16.0 },
-            CacheLevel { name: "L3", size_kib: 105 * 1024, assoc: 15, line_bytes: 64, shared_by: 52, latency_cycles: 55.0 },
+            CacheLevel {
+                name: "L1d",
+                size_kib: 48,
+                assoc: 12,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 5.0,
+            },
+            CacheLevel {
+                name: "L2",
+                size_kib: 2048,
+                assoc: 16,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 16.0,
+            },
+            CacheLevel {
+                name: "L3",
+                size_kib: 105 * 1024,
+                assoc: 15,
+                line_bytes: 64,
+                shared_by: 52,
+                latency_cycles: 55.0,
+            },
         ],
         mem_lat_ns: 110.0,
         mem_bw_gbs: 307.0,
@@ -189,12 +210,33 @@ pub fn genoa() -> ArchConfig {
         vector_regs: 192,
         rob: 320,
         caches: vec![
-            CacheLevel { name: "L1d", size_kib: 32, assoc: 8, line_bytes: 64, shared_by: 1, latency_cycles: 5.0 },
-            CacheLevel { name: "L2", size_kib: 1024, assoc: 8, line_bytes: 64, shared_by: 1, latency_cycles: 14.0 },
+            CacheLevel {
+                name: "L1d",
+                size_kib: 32,
+                assoc: 8,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 5.0,
+            },
+            CacheLevel {
+                name: "L2",
+                size_kib: 1024,
+                assoc: 8,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 14.0,
+            },
             // 9684X: 3D V-Cache, 96 MiB per 8-core CCD; LLC is per-CCD, so
             // cross-CCD sharing of the grid maps is impossible (the paper's
             // Section VIII-b mechanism for the multi-core miss spike).
-            CacheLevel { name: "L3", size_kib: 96 * 1024, assoc: 16, line_bytes: 64, shared_by: 8, latency_cycles: 50.0 },
+            CacheLevel {
+                name: "L3",
+                size_kib: 96 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                shared_by: 8,
+                latency_cycles: 50.0,
+            },
         ],
         mem_lat_ns: 105.0,
         mem_bw_gbs: 460.0,
@@ -228,9 +270,30 @@ pub fn grace() -> ArchConfig {
         vector_regs: 188,
         rob: 320,
         caches: vec![
-            CacheLevel { name: "L1d", size_kib: 64, assoc: 4, line_bytes: 64, shared_by: 1, latency_cycles: 4.0 },
-            CacheLevel { name: "L2", size_kib: 1024, assoc: 8, line_bytes: 64, shared_by: 1, latency_cycles: 13.0 },
-            CacheLevel { name: "L3", size_kib: 114 * 1024, assoc: 12, line_bytes: 64, shared_by: 72, latency_cycles: 60.0 },
+            CacheLevel {
+                name: "L1d",
+                size_kib: 64,
+                assoc: 4,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 4.0,
+            },
+            CacheLevel {
+                name: "L2",
+                size_kib: 1024,
+                assoc: 8,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 13.0,
+            },
+            CacheLevel {
+                name: "L3",
+                size_kib: 114 * 1024,
+                assoc: 12,
+                line_bytes: 64,
+                shared_by: 72,
+                latency_cycles: 60.0,
+            },
         ],
         mem_lat_ns: 130.0,
         mem_bw_gbs: 500.0,
@@ -264,10 +327,24 @@ pub fn a64fx() -> ArchConfig {
         vector_regs: 128,
         rob: 128,
         caches: vec![
-            CacheLevel { name: "L1d", size_kib: 64, assoc: 4, line_bytes: 256, shared_by: 1, latency_cycles: 5.0 },
+            CacheLevel {
+                name: "L1d",
+                size_kib: 64,
+                assoc: 4,
+                line_bytes: 256,
+                shared_by: 1,
+                latency_cycles: 5.0,
+            },
             // No private L2 and no L3: the 8 MiB CMG L2 is the LLC,
             // shared by the 12 cores of a core-memory-group.
-            CacheLevel { name: "L2(CMG)", size_kib: 8 * 1024, assoc: 16, line_bytes: 256, shared_by: 12, latency_cycles: 47.0 },
+            CacheLevel {
+                name: "L2(CMG)",
+                size_kib: 8 * 1024,
+                assoc: 16,
+                line_bytes: 256,
+                shared_by: 12,
+                latency_cycles: 47.0,
+            },
         ],
         mem_lat_ns: 130.0,
         mem_bw_gbs: 1024.0,
@@ -301,9 +378,30 @@ pub fn graviton4() -> ArchConfig {
         vector_regs: 188,
         rob: 320,
         caches: vec![
-            CacheLevel { name: "L1d", size_kib: 64, assoc: 4, line_bytes: 64, shared_by: 1, latency_cycles: 4.0 },
-            CacheLevel { name: "L2", size_kib: 2048, assoc: 8, line_bytes: 64, shared_by: 1, latency_cycles: 13.0 },
-            CacheLevel { name: "L3", size_kib: 36 * 1024, assoc: 12, line_bytes: 64, shared_by: 96, latency_cycles: 60.0 },
+            CacheLevel {
+                name: "L1d",
+                size_kib: 64,
+                assoc: 4,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 4.0,
+            },
+            CacheLevel {
+                name: "L2",
+                size_kib: 2048,
+                assoc: 8,
+                line_bytes: 64,
+                shared_by: 1,
+                latency_cycles: 13.0,
+            },
+            CacheLevel {
+                name: "L3",
+                size_kib: 36 * 1024,
+                assoc: 12,
+                line_bytes: 64,
+                shared_by: 96,
+                latency_cycles: 60.0,
+            },
         ],
         mem_lat_ns: 120.0,
         mem_bw_gbs: 537.0,

@@ -165,7 +165,12 @@ impl Hierarchy {
             sharing.push(level.shared_by);
             line_bytes.push(level.line_bytes);
         }
-        Hierarchy { instances, sharing, line_bytes, cores }
+        Hierarchy {
+            instances,
+            sharing,
+            line_bytes,
+            cores,
+        }
     }
 
     /// Issue one demand load from `core` for `addr`, walking the levels.
@@ -207,7 +212,11 @@ impl Hierarchy {
             levels.push(s);
         }
         let total = levels.first().map(|l| l.accesses).unwrap_or(0);
-        CacheOutcome { levels, dram_bytes, total_accesses: total }
+        CacheOutcome {
+            levels,
+            dram_bytes,
+            total_accesses: total,
+        }
     }
 }
 

@@ -156,7 +156,11 @@ pub fn codegen(c: &CompilerProfile, arch: &ArchConfig) -> Option<Codegen> {
         // Tuning > 1 on Genoa: the paper credits GCC's more aggressive
         // cost model and fewer LLC misses for the win there (VIII-a).
         "gcc" => Codegen {
-            vec_bits: if arch.isa == Isa::X86 { native.min(256) } else { native },
+            vec_bits: if arch.isa == Isa::X86 {
+                native.min(256)
+            } else {
+                native
+            },
             math_vectorized: arch.isa == Isa::X86,
             fexpa: false,
             fma: true,
@@ -165,7 +169,11 @@ pub fn codegen(c: &CompilerProfile, arch: &ArchConfig) -> Option<Codegen> {
         // Clang/LLVM: 256-bit cost-model cap on SPR (llvm#102047); ArmPL
         // gives vector math on ARM and reaches FEXPA on A64FX.
         "clang" => Codegen {
-            vec_bits: if arch.isa == Isa::X86 { native.min(256) } else { native },
+            vec_bits: if arch.isa == Isa::X86 {
+                native.min(256)
+            } else {
+                native
+            },
             math_vectorized: true,
             fexpa: arch.has_fexpa,
             fma: true,
@@ -223,7 +231,11 @@ pub fn novec_baseline(arch: &ArchConfig, cg: &Codegen) -> Codegen {
         vec_bits: if arch.isa == Isa::X86 { 128 } else { 32 },
         // x86 GLIBC ships SSE libmvec variants, so even the baseline's
         // math is 4-wide there; ARM keeps the compiler's situation.
-        math_vectorized: if arch.isa == Isa::X86 { true } else { cg.math_vectorized },
+        math_vectorized: if arch.isa == Isa::X86 {
+            true
+        } else {
+            cg.math_vectorized
+        },
         fexpa: cg.fexpa,
         // -fno-vectorize does not disable FMA contraction.
         fma: true,
@@ -277,7 +289,10 @@ mod tests {
     fn fexpa_reachability() {
         let a = arch::a64fx();
         assert!(codegen(&FCC, &a).unwrap().fexpa);
-        assert!(codegen(&CLANG, &a).unwrap().fexpa, "LLVM+ArmPL reaches FEXPA");
+        assert!(
+            codegen(&CLANG, &a).unwrap().fexpa,
+            "LLVM+ArmPL reaches FEXPA"
+        );
         assert!(!codegen(&HWY, &a).unwrap().fexpa);
         // FEXPA does not exist off-A64FX.
         assert!(!codegen(&CLANG, &arch::grace()).unwrap().fexpa);

@@ -214,20 +214,35 @@ mod tests {
 
     #[test]
     fn flops_accounting() {
-        let m = OpMix { fma: 10.0, add: 5.0, mul: 5.0, exp: 1.0, ..Default::default() };
+        let m = OpMix {
+            fma: 10.0,
+            add: 5.0,
+            mul: 5.0,
+            exp: 1.0,
+            ..Default::default()
+        };
         assert_eq!(m.flops(13.0), 20.0 + 10.0 + 13.0);
     }
 
     #[test]
     fn issue_slots_respect_fma() {
-        let m = OpMix { fma: 10.0, add: 2.0, sqrt: 1.0, ..Default::default() };
+        let m = OpMix {
+            fma: 10.0,
+            add: 2.0,
+            sqrt: 1.0,
+            ..Default::default()
+        };
         assert_eq!(m.issue_slots(true), 10.0 + 2.0 + 4.0);
         assert_eq!(m.issue_slots(false), 20.0 + 2.0 + 4.0);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the static op-mix tables
     fn kernels_flag_math_correctly() {
-        assert!(INTRA_PER_PAIR.contains_exp, "intra calls exp (dielectric/desolv)");
+        assert!(
+            INTRA_PER_PAIR.contains_exp,
+            "intra calls exp (dielectric/desolv)"
+        );
         assert!(!INTER_PER_ATOM.contains_exp, "inter is pure lookups + FMA");
         assert!(!TRANSFORM_RIGID_PER_ATOM.contains_exp);
     }

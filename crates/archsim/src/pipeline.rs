@@ -99,7 +99,12 @@ fn kernel_elements(wl: &Workload) -> Vec<(KernelMix, f64)> {
 /// Estimate one ligand's docking on a single core of `arch` compiled per
 /// `cg`, with the memory behaviour of `cache` (a single-core or per-core
 /// multi-core cache outcome over `wl`'s trace).
-pub fn estimate(arch: &ArchConfig, cg: &Codegen, wl: &Workload, cache: &CacheOutcome) -> RunEstimate {
+pub fn estimate(
+    arch: &ArchConfig,
+    cg: &Codegen,
+    wl: &Workload,
+    cache: &CacheOutcome,
+) -> RunEstimate {
     let exec_lanes = arch.exec_lanes().max(1);
     let pipes = arch.vec_pipes.max(1) as f64;
 
@@ -134,7 +139,7 @@ pub fn estimate(arch: &ArchConfig, cg: &Codegen, wl: &Workload, cache: &CacheOut
         // Gathers sustain a few elements per cycle on wide machines
         // (hardware vpgatherdps / SVE gathers) but never amortize like
         // contiguous loads; scalar code gets the two load ports.
-        let gather_rate = (eff_lanes.min(4.0)).max(2.0);
+        let gather_rate = eff_lanes.clamp(2.0, 4.0);
         let ld_cycles =
             mix.load / eff_lanes / 2.0 + mix.gather / gather_rate + mix.store / eff_lanes;
         let int_cycles = mix.int_ops / (2.0 * eff_lanes);
@@ -162,8 +167,16 @@ pub fn estimate(arch: &ArchConfig, cg: &Codegen, wl: &Workload, cache: &CacheOut
             name: k.name,
             lanes: emitted_lanes,
             compute_cycles: k_compute,
-            vector_instrs: if emitted_lanes > 1 { instr_estimate } else { 0.0 },
-            scalar_instrs: if emitted_lanes > 1 { 0.0 } else { instr_estimate },
+            vector_instrs: if emitted_lanes > 1 {
+                instr_estimate
+            } else {
+                0.0
+            },
+            scalar_instrs: if emitted_lanes > 1 {
+                0.0
+            } else {
+                instr_estimate
+            },
             flops: k_flops,
         });
     }
@@ -281,10 +294,20 @@ mod tests {
         let w = wl();
         let a64 = arch::a64fx();
         let cache_a = single_core_cache(&a64, &w);
-        let est_a = estimate(&a64, &compiler::codegen(&CLANG, &a64).unwrap(), &w, &cache_a);
+        let est_a = estimate(
+            &a64,
+            &compiler::codegen(&CLANG, &a64).unwrap(),
+            &w,
+            &cache_a,
+        );
         for other in [arch::spr(), arch::grace()] {
             let cache_o = single_core_cache(&other, &w);
-            let est_o = estimate(&other, &compiler::codegen(&CLANG, &other).unwrap(), &w, &cache_o);
+            let est_o = estimate(
+                &other,
+                &compiler::codegen(&CLANG, &other).unwrap(),
+                &w,
+                &cache_o,
+            );
             assert!(
                 est_a.stall_frac > est_o.stall_frac,
                 "A64FX {} vs {} {}",
@@ -315,7 +338,12 @@ mod tests {
         let s_novec = estimate(&spr, &compiler::novec_baseline(&spr, &s_cg), &w, &cache_s);
         let g_cg = compiler::codegen(&CLANG, &grace).unwrap();
         let g_vec = estimate(&grace, &g_cg, &w, &cache_g);
-        let g_novec = estimate(&grace, &compiler::novec_baseline(&grace, &g_cg), &w, &cache_g);
+        let g_novec = estimate(
+            &grace,
+            &compiler::novec_baseline(&grace, &g_cg),
+            &w,
+            &cache_g,
+        );
         let s_speedup = s_novec.seconds_per_ligand / s_vec.seconds_per_ligand;
         let g_speedup = g_novec.seconds_per_ligand / g_vec.seconds_per_ligand;
         assert!(s_speedup > 1.5, "SPR speedup {s_speedup}");

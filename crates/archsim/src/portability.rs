@@ -26,17 +26,18 @@ impl PortabilityMatrix {
         let mut eff = Vec::with_capacity(times.len());
         for row in times {
             assert_eq!(row.len(), compilers.len());
-            let best = row
-                .iter()
-                .flatten()
-                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let best = row.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
             eff.push(
                 row.iter()
                     .map(|t| t.map(|t| best / t))
                     .collect::<Vec<Option<f64>>>(),
             );
         }
-        PortabilityMatrix { archs, compilers, eff }
+        PortabilityMatrix {
+            archs,
+            compilers,
+            eff,
+        }
     }
 
     /// Pennycook harmonic-mean performance portability of one compiler:

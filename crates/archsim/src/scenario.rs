@@ -145,7 +145,12 @@ impl Study {
     /// paper does not evaluate the combination.
     pub fn single_core(&self, arch: &ArchConfig, comp: &CompilerProfile) -> Option<RunEstimate> {
         let cg = compiler::codegen(comp, arch)?;
-        Some(estimate(arch, &cg, &self.reduced, &self.cache_single[arch.key]))
+        Some(estimate(
+            arch,
+            &cg,
+            &self.reduced,
+            &self.cache_single[arch.key],
+        ))
     }
 
     /// Per-core estimate under multi-core cache behaviour (MEDIATE set).
@@ -155,7 +160,12 @@ impl Study {
         comp: &CompilerProfile,
     ) -> Option<RunEstimate> {
         let cg = compiler::codegen(comp, arch)?;
-        Some(estimate(arch, &cg, &self.mediate, &self.cache_multi[arch.key]))
+        Some(estimate(
+            arch,
+            &cg,
+            &self.mediate,
+            &self.cache_multi[arch.key],
+        ))
     }
 
     /// Node wall-clock seconds to screen the whole MEDIATE-like set.
@@ -192,7 +202,11 @@ impl Study {
         for a in &self.archs {
             for c in &self.compilers {
                 if let Some(secs) = self.node_seconds(a, c) {
-                    rows.push(Point { arch: a.key.into(), compiler: c.key.into(), value: secs });
+                    rows.push(Point {
+                        arch: a.key.into(),
+                        compiler: c.key.into(),
+                        value: secs,
+                    });
                 }
             }
         }
@@ -204,7 +218,9 @@ impl Study {
         let mut rows = Vec::new();
         for a in &self.archs {
             for c in &self.compilers {
-                let Some(cg) = compiler::codegen(c, a) else { continue };
+                let Some(cg) = compiler::codegen(c, a) else {
+                    continue;
+                };
                 let novec = estimate(
                     a,
                     &compiler::novec_baseline(a, &cg),
@@ -253,7 +269,11 @@ impl Study {
             let pipes = a.vec_pipes as f64;
             let vec_name = format!(
                 "sp_{}{}",
-                if a.isa == crate::arch::Isa::X86 { "avx" } else { "sve" },
+                if a.isa == crate::arch::Isa::X86 {
+                    "avx"
+                } else {
+                    "sve"
+                },
                 a.vec_bits
             );
             let roofline = Roofline::new(a.name, a.mem_bw_gbs as f64)
@@ -266,7 +286,11 @@ impl Study {
                     points.push((c.key.to_string(), est.arithmetic_intensity(), est.gflops()));
                 }
             }
-            plots.push(RooflinePlot { arch: a.key.into(), roofline, points });
+            plots.push(RooflinePlot {
+                arch: a.key.into(),
+                roofline,
+                points,
+            });
         }
         plots
     }
@@ -297,10 +321,8 @@ impl Study {
             for c in &self.compilers {
                 if let Some(secs) = self.node_seconds(a, c) {
                     let ligands = self.mediate.ligands as f64;
-                    let cost =
-                        a.cost_per_node_hour as f64 * (secs / 3600.0) / ligands;
-                    let energy =
-                        a.node_tdp_w() as f64 * POWER_UTILIZATION * secs / ligands;
+                    let cost = a.cost_per_node_hour as f64 * (secs / 3600.0) / ligands;
+                    let energy = a.node_tdp_w() as f64 * POWER_UTILIZATION * secs / ligands;
                     rows.push(CostPoint {
                         arch: a.key.into(),
                         compiler: c.key.into(),
@@ -436,7 +458,10 @@ mod tests {
     fn fig4_a64fx_stalls_highest() {
         let rows = study().fig4();
         let a64_clang = get(&rows, "a64fx", "clang");
-        assert!((0.5..0.9).contains(&a64_clang), "A64FX ≈70 % stalls, got {a64_clang}");
+        assert!(
+            (0.5..0.9).contains(&a64_clang),
+            "A64FX ≈70 % stalls, got {a64_clang}"
+        );
         for arch in ["spr", "genoa", "grace", "graviton"] {
             assert!(
                 get(&rows, arch, "clang") < a64_clang,
@@ -449,8 +474,11 @@ mod tests {
     fn fig5_kernels_are_compute_bound() {
         for plot in study().fig5() {
             for (comp, ai, gflops) in &plot.points {
-                assert!(*ai > plot.roofline.ridge_ai(),
-                    "{}/{comp}: AI {ai} should be right of the ridge", plot.arch);
+                assert!(
+                    *ai > plot.roofline.ridge_ai(),
+                    "{}/{comp}: AI {ai} should be right of the ridge",
+                    plot.arch
+                );
                 // No point exceeds its roof.
                 assert!(
                     *gflops <= plot.roofline.attainable(*ai) * 1.001,
@@ -518,7 +546,8 @@ mod tests {
         for r in &rows {
             assert!(
                 r.llc_miss_multi >= r.llc_miss_single * 0.9 - 1e-12,
-                "{}: multi-core misses should not improve", r.arch
+                "{}: multi-core misses should not improve",
+                r.arch
             );
             assert!(r.ai_single.is_finite() && r.ai_multi.is_finite());
         }

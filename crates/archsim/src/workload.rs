@@ -99,7 +99,11 @@ fn trace_ligand(
     let vdims = virtual_dims();
     let engine = DockingEngine::new(gs).expect("coarse grid fits");
     let params = DockParams {
-        ga: GaParams { population: pop, generations: gens, ..Default::default() },
+        ga: GaParams {
+            population: pop,
+            generations: gens,
+            ..Default::default()
+        },
         seed,
         backend: Backend::Explicit(SimdLevel::detect()),
         search_radius: Some(8.5),
@@ -227,8 +231,9 @@ pub fn replay(
 
     // Interleave per-core streams round-robin, as concurrently-running
     // cores would.
-    let streams: Vec<&Vec<TraceEntry>> =
-        (0..cores).map(|c| &wl.traces[c % wl.traces.len()]).collect();
+    let streams: Vec<&Vec<TraceEntry>> = (0..cores)
+        .map(|c| &wl.traces[c % wl.traces.len()])
+        .collect();
     let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
     // Pass 0 warms the caches (the paper discards warm-up runs); pass 1 is
     // measured — the steady state of a 1000-generation docking run.

@@ -20,14 +20,18 @@ fn bench_build(c: &mut Criterion) {
         })
     });
     for level in SimdLevel::available() {
-        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
-            b.iter(|| {
-                let gs = GridBuilder::new(&receptor, dims)
-                    .with_types(&types)
-                    .build_simd(level);
-                criterion::black_box(gs.data.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simd", level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let gs = GridBuilder::new(&receptor, dims)
+                        .with_types(&types)
+                        .build_simd(level);
+                    criterion::black_box(gs.data.len())
+                })
+            },
+        );
     }
     g.finish();
 }

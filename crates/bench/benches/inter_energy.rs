@@ -1,8 +1,8 @@
 //! Criterion: the memory-bound inter-energy kernel (grid lookups) across
 //! backends.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mudock_core::scoring::{inter_energy_reference, inter_energy_simd};
 use mudock_bench::HostWorkload;
+use mudock_core::scoring::{inter_energy_reference, inter_energy_simd};
 use mudock_mol::ConformSoA;
 use mudock_simd::SimdLevel;
 
@@ -16,9 +16,13 @@ fn bench_inter(c: &mut Criterion) {
         b.iter(|| criterion::black_box(inter_energy_reference(&wl.grids, &conf, st)))
     });
     for level in SimdLevel::available() {
-        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
-            b.iter(|| criterion::black_box(inter_energy_simd(level, &wl.grids, &conf, st)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simd", level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| criterion::black_box(inter_energy_simd(level, &wl.grids, &conf, st)))
+            },
+        );
     }
     g.finish();
 }

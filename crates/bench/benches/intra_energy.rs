@@ -10,7 +10,10 @@ use mudock_simd::SimdLevel;
 fn bench_intra(c: &mut Criterion) {
     let lig = mudock_molio::synthetic_ligand(
         11,
-        mudock_molio::LigandSpec { heavy_atoms: 35, torsions: 7 },
+        mudock_molio::LigandSpec {
+            heavy_atoms: 35,
+            torsions: 7,
+        },
     );
     let prep = LigandPrep::new(lig).unwrap();
     let conf = ConformSoA::from_molecule(&prep.mol);
@@ -21,9 +24,11 @@ fn bench_intra(c: &mut Criterion) {
         b.iter(|| criterion::black_box(intra_energy_reference(&conf, &pairs)))
     });
     for level in SimdLevel::available() {
-        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
-            b.iter(|| criterion::black_box(intra_energy_simd(level, &conf, &pairs)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simd", level.name()),
+            &level,
+            |b, &level| b.iter(|| criterion::black_box(intra_energy_simd(level, &conf, &pairs))),
+        );
     }
     g.finish();
 }

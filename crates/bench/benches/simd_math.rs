@@ -18,12 +18,16 @@ fn bench_exp(c: &mut Criterion) {
         })
     });
     for level in SimdLevel::available() {
-        g.bench_with_input(BenchmarkId::new("poly", level.name()), &level, |b, &level| {
-            b.iter(|| {
-                ops::exp_slice(level, &xs, &mut out);
-                criterion::black_box(&mut out);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("poly", level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    ops::exp_slice(level, &xs, &mut out);
+                    criterion::black_box(&mut out);
+                })
+            },
+        );
     }
     g.finish();
 }

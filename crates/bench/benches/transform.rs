@@ -8,7 +8,10 @@ use mudock_simd::SimdLevel;
 fn bench_transform(c: &mut Criterion) {
     let lig = mudock_molio::synthetic_ligand(
         13,
-        mudock_molio::LigandSpec { heavy_atoms: 35, torsions: 8 },
+        mudock_molio::LigandSpec {
+            heavy_atoms: 35,
+            torsions: 8,
+        },
     );
     let prep = LigandPrep::new(lig).unwrap();
     use rand::{rngs::StdRng, SeedableRng};
@@ -24,12 +27,16 @@ fn bench_transform(c: &mut Criterion) {
         })
     });
     for level in SimdLevel::available() {
-        g.bench_with_input(BenchmarkId::new("simd", level.name()), &level, |b, &level| {
-            b.iter(|| {
-                apply_pose_simd(level, &prep.base, &prep.plans, &g_pose, &mut out);
-                criterion::black_box(&mut out);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simd", level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    apply_pose_simd(level, &prep.base, &prep.plans, &g_pose, &mut out);
+                    criterion::black_box(&mut out);
+                })
+            },
+        );
     }
     g.finish();
 }

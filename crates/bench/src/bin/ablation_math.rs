@@ -39,7 +39,8 @@ fn main() {
     });
     println!(
         "{:24} {:8.3} ns/exp  (baseline: scalar libm call)",
-        "libm f32::exp", t_libm * 1e9
+        "libm f32::exp",
+        t_libm * 1e9
     );
 
     for level in SimdLevel::available() {

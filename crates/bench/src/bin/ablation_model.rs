@@ -40,14 +40,21 @@ fn main() {
         let mut cg = base;
         cg.vec_bits = bits;
         let est = estimate(&spr, &cg, &wl, &cache);
-        println!("{:>8} {:>12.3}", bits, est.seconds_per_ligand * wl.ligands as f64);
+        println!(
+            "{:>8} {:>12.3}",
+            bits,
+            est.seconds_per_ligand * wl.ligands as f64
+        );
     }
     println!("expected: 256→512 still pays (HWY's win over Clang/GCC on SPR),");
     println!("with diminishing returns as gathers become the bottleneck.\n");
 
     // ---- Sweep 3: LLC capacity under the docking working set ------------
     println!("SWEEP 3: LLC capacity (A64FX CMG geometry, multi-core replay)");
-    println!("{:>10} {:>14} {:>14}", "LLC (MiB)", "llc miss rate", "dram MB/core");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "LLC (MiB)", "llc miss rate", "dram MB/core"
+    );
     for mib in [4usize, 8, 16, 32, 64] {
         let mut a = arch::a64fx();
         let last = a.caches.len() - 1;

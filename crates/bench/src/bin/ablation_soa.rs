@@ -43,7 +43,10 @@ fn intra_aos(atoms: &[AtomRec], pairs: &[(u32, u32)], table: &PairTable) -> f32 
 fn main() {
     let ligand = mudock_molio::synthetic_ligand(
         7,
-        mudock_molio::LigandSpec { heavy_atoms: 40, torsions: 8 },
+        mudock_molio::LigandSpec {
+            heavy_atoms: 40,
+            torsions: 8,
+        },
     );
     let prep = LigandPrep::new(ligand).expect("valid ligand");
     let conf = ConformSoA::from_molecule(&prep.mol);
@@ -54,7 +57,11 @@ fn main() {
         .mol
         .atoms
         .iter()
-        .map(|a| AtomRec { pos: a.pos, ty: a.ty, charge: a.charge })
+        .map(|a| AtomRec {
+            pos: a.pos,
+            ty: a.ty,
+            charge: a.charge,
+        })
         .collect();
     let reps = 2000;
 
@@ -72,9 +79,16 @@ fn main() {
     };
 
     println!("ABLATION: AoS + per-pair FF lookups vs SoA + premultiplied coefficients");
-    println!("ligand: {} atoms, {} scored pairs\n", prep.base.n, prep.pairs.n);
+    println!(
+        "ligand: {} atoms, {} scored pairs\n",
+        prep.base.n, prep.pairs.n
+    );
     let t_aos = time(&mut || intra_aos(&atoms, &prep.topo.pairs, &table));
-    println!("{:22} {:10.2} µs/eval  (baseline)", "aos+lookup+libm", t_aos * 1e6);
+    println!(
+        "{:22} {:10.2} µs/eval  (baseline)",
+        "aos+lookup+libm",
+        t_aos * 1e6
+    );
     for level in SimdLevel::available() {
         let t = time(&mut || intra_energy_simd(level, &conf, &pairs_soa));
         println!(

@@ -10,7 +10,11 @@ fn main() {
     report::table3();
     println!("Building the cross-architecture study (runs real docking on this host)…\n");
     let study = Study::new();
-    assert_eq!(report::coverage(&study), 19, "19 (arch, compiler) pairs as in the paper");
+    assert_eq!(
+        report::coverage(&study),
+        19,
+        "19 (arch, compiler) pairs as in the paper"
+    );
     report::table4(&study);
     report::table5(&study);
     report::fig2a(&study);

@@ -1,0 +1,95 @@
+//! Service-layer throughput benchmark: push a synthetic screening
+//! campaign through `mudock-serve` and record ligands/sec plus the grid
+//! cache hit rate in `BENCH_serve.json` — the baseline every future
+//! serve-layer optimization is measured against.
+//!
+//! ```text
+//! cargo run --release -p mudock-bench --bin serve_throughput [ligands_per_job] [jobs]
+//! ```
+//!
+//! Thread count follows `MUDOCK_THREADS` (see `mudock_pool`), so CI runs
+//! are reproducible.
+
+use std::sync::Arc;
+
+use mudock_core::{DockParams, GaParams};
+use mudock_grids::GridDims;
+use mudock_mol::Vec3;
+use mudock_serve::{JobSpec, JobState, LigandSource, ScreenService, ServeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_ligands: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let jobs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let threads = mudock_pool::default_threads();
+
+    let service = ScreenService::start(ServeConfig {
+        total_threads: threads,
+        job_slots: 2,
+        ..ServeConfig::default()
+    });
+    // Every job screens the same target — the virtual-screening shape —
+    // so all builds after the first are cache hits.
+    let receptor = Arc::new(mudock_molio::synthetic_receptor(0xbe2c, 300, 9.0));
+    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
+    let params = DockParams {
+        ga: GaParams {
+            population: 25,
+            generations: 30,
+            ..Default::default()
+        },
+        seed: 0xbe2c,
+        search_radius: Some(5.0),
+        ..Default::default()
+    };
+
+    eprintln!("serve_throughput: {jobs} jobs × {n_ligands} ligands on {threads} threads");
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|j| {
+            service
+                .submit(JobSpec {
+                    name: format!("bench-{j}"),
+                    receptor: Arc::clone(&receptor),
+                    ligands: LigandSource::synth(j as u64, n_ligands),
+                    params: params.clone(),
+                    top_k: 10,
+                    chunk_size: 8,
+                    grid_dims: Some(dims),
+                    ..JobSpec::default()
+                })
+                .expect("bench jobs fit the queue")
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait().state, JobState::Completed, "bench job failed");
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+
+    let total = (jobs * n_ligands) as f64;
+    let ligands_per_sec = total / elapsed.as_secs_f64().max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"serve_throughput\",\"jobs\":{},\"ligands_per_job\":{},",
+            "\"threads\":{},\"elapsed_s\":{:.4},\"ligands_per_sec\":{:.2},",
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}}}\n"
+        ),
+        jobs,
+        n_ligands,
+        threads,
+        elapsed.as_secs_f64(),
+        ligands_per_sec,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate(),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!(
+        "{:.1} ligands/s, cache hit rate {:.0} % → BENCH_serve.json",
+        ligands_per_sec,
+        100.0 * stats.cache.hit_rate()
+    );
+}

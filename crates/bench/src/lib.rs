@@ -62,7 +62,9 @@ pub mod fmt {
         if max <= 0.0 || !value.is_finite() {
             return String::new();
         }
-        let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+        let n = ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize;
         "#".repeat(n)
     }
 
@@ -101,8 +103,7 @@ impl HostWorkload {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let (receptor, ligand) = mudock_molio::complex_1a30_like();
-        let mut types: Vec<mudock_ff::AtomType> =
-            ligand.atoms.iter().map(|a| a.ty).collect();
+        let mut types: Vec<mudock_ff::AtomType> = ligand.atoms.iter().map(|a| a.ty).collect();
         types.sort_unstable();
         types.dedup();
         let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.55);

@@ -30,8 +30,16 @@ pub fn table1() {
         })
         .collect();
     let headers = [
-        "Vendor", "CPU", "Architecture", "Clock(GHz)", "Cores*", "Threads*", "VecExt",
-        "TDP(W)", "$/NH", "Year",
+        "Vendor",
+        "CPU",
+        "Architecture",
+        "Clock(GHz)",
+        "Cores*",
+        "Threads*",
+        "VecExt",
+        "TDP(W)",
+        "$/NH",
+        "Year",
     ];
     println!("TABLE I: Comparison of CPU Features (* per socket)\n");
     println!("{}", fmt::table(&headers, &rows));
@@ -55,7 +63,13 @@ pub fn table2() {
         })
         .collect();
     let headers = [
-        "Microarch", "ISA", "ScalarReg", "VectorReg", "VectorALU", "VectorPipes", "ROB",
+        "Microarch",
+        "ISA",
+        "ScalarReg",
+        "VectorReg",
+        "VectorALU",
+        "VectorPipes",
+        "ROB",
     ];
     println!("TABLE II: Comparison of CPUs out-of-order resources\n");
     println!("{}", fmt::table(&headers, &rows));
@@ -97,7 +111,9 @@ pub fn table4(study: &Study) {
     let headers = ["Arch", "Single-core", "Multi-core"];
     println!("TABLE IV (modeled): LLC miss-rate for Clang\n");
     println!("{}", fmt::table(&headers, &rows));
-    println!("paper: Grace 1.0e-4→3.4e-4, SPR 2.0e-7→1.0e-5, Genoa 8.7e-5→2.1e-2, A64FX 6.9e-6→7.2e-4\n");
+    println!(
+        "paper: Grace 1.0e-4→3.4e-4, SPR 2.0e-7→1.0e-5, Genoa 8.7e-5→2.1e-2, A64FX 6.9e-6→7.2e-4\n"
+    );
     let _ = fmt::write_csv("table4_llc.csv", &headers, &rows);
 }
 
@@ -106,9 +122,7 @@ pub fn table5(study: &Study) {
     let rows: Vec<Vec<String>> = study
         .tables45()
         .iter()
-        .map(|r| {
-            vec![r.arch.clone(), f(r.ai_single, 0), f(r.ai_multi, 0)]
-        })
+        .map(|r| vec![r.arch.clone(), f(r.ai_single, 0), f(r.ai_multi, 0)])
         .collect();
     let headers = ["Arch", "AI single", "AI multi"];
     println!("TABLE V (modeled): Arithmetic intensity for Clang\n");
@@ -121,17 +135,16 @@ fn figure_bars(title: &str, csv: &str, points: &[(String, String, f64)], unit: &
     let max = points.iter().map(|p| p.2).fold(0.0f64, f64::max);
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|(a, c, v)| {
-            vec![a.clone(), c.clone(), f(*v, 3), fmt::bar(*v, max, 44)]
-        })
+        .map(|(a, c, v)| vec![a.clone(), c.clone(), f(*v, 3), fmt::bar(*v, max, 44)])
         .collect();
     let headers = ["Arch", "Compiler", unit, ""];
     println!("{title}\n");
     println!("{}", fmt::table(&headers, &rows));
-    let _ = fmt::write_csv(csv, &["arch", "compiler", unit], &rows
-        .iter()
-        .map(|r| r[..3].to_vec())
-        .collect::<Vec<_>>());
+    let _ = fmt::write_csv(
+        csv,
+        &["arch", "compiler", unit],
+        &rows.iter().map(|r| r[..3].to_vec()).collect::<Vec<_>>(),
+    );
 }
 
 /// Figure 2a: single-core execution time, reduced dataset.
@@ -240,7 +253,9 @@ pub fn fig5(study: &Study) {
         }
         println!();
     }
-    println!("paper shape: all kernel points sit right of the ridge (compute-bound), Section VIII-b\n");
+    println!(
+        "paper shape: all kernel points sit right of the ridge (compute-bound), Section VIII-b\n"
+    );
     let _ = fmt::write_csv(
         "fig5_roofline.csv",
         &["arch", "compiler", "ai_flop_per_byte", "gflops"],

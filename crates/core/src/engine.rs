@@ -79,10 +79,16 @@ impl std::fmt::Display for DockError {
         match self {
             DockError::Molecule(e) => write!(f, "invalid molecule: {e}"),
             DockError::MissingMap { type_idx } => {
-                write!(f, "grid set has no map built for atom type index {type_idx}")
+                write!(
+                    f,
+                    "grid set has no map built for atom type index {type_idx}"
+                )
             }
             DockError::GridTooLarge { cells } => {
-                write!(f, "grid buffer of {cells} cells exceeds exact-f32 indexing (2^24)")
+                write!(
+                    f,
+                    "grid buffer of {cells} cells exceeds exact-f32 indexing (2^24)"
+                )
             }
         }
     }
@@ -119,7 +125,14 @@ impl LigandPrep {
         let statics = AtomStatics::from_molecule(&mol);
         let pairs = PairsSoA::build(&mol, &topo, &PairTable::new());
         let plans = torsion_plans(&topo, base.len_padded());
-        Ok(LigandPrep { mol, topo, base, statics, pairs, plans })
+        Ok(LigandPrep {
+            mol,
+            topo,
+            base,
+            statics,
+            pairs,
+            plans,
+        })
     }
 
     /// Number of torsion genes this ligand needs.
@@ -180,7 +193,9 @@ pub struct DockingEngine<'a> {
 impl<'a> DockingEngine<'a> {
     pub fn new(grids: &'a GridSet) -> Result<DockingEngine<'a>, DockError> {
         if grids.data.len() >= (1 << 24) {
-            return Err(DockError::GridTooLarge { cells: grids.data.len() });
+            return Err(DockError::GridTooLarge {
+                cells: grids.data.len(),
+            });
         }
         let lo = grids.dims.origin;
         let hi = grids.dims.max_corner();
@@ -246,7 +261,13 @@ impl<'a> DockingEngine<'a> {
             .search_radius
             .unwrap_or(self.half_extent * 0.6)
             .max(1.0);
-        let mut ga = Ga::new(params.ga, params.seed, self.center, radius, prep.n_torsions());
+        let mut ga = Ga::new(
+            params.ga,
+            params.seed,
+            self.center,
+            radius,
+            prep.n_torsions(),
+        );
         let mut ls_rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ 0x6c73);
         let mut pop = ga.init_population();
         let mut fitness = vec![0.0f32; pop.len()];
@@ -308,7 +329,13 @@ impl<'a> DockingEngine<'a> {
             pop = ga.evolve(&pop, &fitness);
         }
 
-        Ok(DockReport { best_score, best_genotype, history, evaluations, stats })
+        Ok(DockReport {
+            best_score,
+            best_genotype,
+            history,
+            evaluations,
+            stats,
+        })
     }
 }
 
@@ -331,7 +358,11 @@ mod tests {
 
     fn small_params(backend: Backend) -> DockParams {
         DockParams {
-            ga: GaParams { population: 30, generations: 25, ..Default::default() },
+            ga: GaParams {
+                population: 30,
+                generations: 25,
+                ..Default::default()
+            },
             seed: 1234,
             backend,
             search_radius: Some(4.0),
@@ -366,7 +397,12 @@ mod tests {
         let prep = LigandPrep::new(lig).unwrap();
         let report = engine.dock(&prep, &small_params(Backend::AutoVec)).unwrap();
         for w in report.history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-4, "best score regressed: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-4,
+                "best score regressed: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -418,7 +454,13 @@ mod tests {
             .build_scalar();
         let engine = DockingEngine::new(&gs).unwrap();
         // ...but the ligand certainly contains non-carbon types.
-        let lig = synthetic_ligand(3, LigandSpec { heavy_atoms: 20, torsions: 4 });
+        let lig = synthetic_ligand(
+            3,
+            LigandSpec {
+                heavy_atoms: 20,
+                torsions: 4,
+            },
+        );
         let prep = LigandPrep::new(lig).unwrap();
         let err = engine.dock(&prep, &small_params(Backend::AutoVec));
         assert!(matches!(err, Err(DockError::MissingMap { .. })));

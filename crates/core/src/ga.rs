@@ -77,7 +77,7 @@ impl Ga {
         assert!(params.elitism < params.population);
         Ga {
             params,
-            rng: StdRng::seed_from_u64(seed ^ 0x6761_5f73_6565_64),
+            rng: StdRng::seed_from_u64(seed ^ 0x67_615f_7365_6564),
             center,
             t_bound,
             n_torsions,
@@ -183,7 +183,11 @@ mod tests {
 
     fn ga(seed: u64) -> Ga {
         Ga::new(
-            GaParams { population: 20, generations: 5, ..Default::default() },
+            GaParams {
+                population: 20,
+                generations: 5,
+                ..Default::default()
+            },
             seed,
             Vec3::ZERO,
             5.0,
@@ -228,7 +232,11 @@ mod tests {
     #[test]
     fn mutation_keeps_translations_in_box() {
         let mut g = Ga::new(
-            GaParams { mutation_rate: 1.0, sigma_translation: 50.0, ..Default::default() },
+            GaParams {
+                mutation_rate: 1.0,
+                sigma_translation: 50.0,
+                ..Default::default()
+            },
             9,
             Vec3::ZERO,
             2.0,
@@ -246,7 +254,11 @@ mod tests {
     #[test]
     fn torsions_stay_wrapped() {
         let mut g = Ga::new(
-            GaParams { mutation_rate: 1.0, sigma_torsion: 10.0, ..Default::default() },
+            GaParams {
+                mutation_rate: 1.0,
+                sigma_torsion: 10.0,
+                ..Default::default()
+            },
             11,
             Vec3::ZERO,
             2.0,

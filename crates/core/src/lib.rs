@@ -48,11 +48,13 @@ pub mod local_search;
 pub mod scoring;
 pub mod screen;
 pub mod stats;
+pub mod topk;
 pub mod transform;
 
 pub use engine::{Backend, DockError, DockParams, DockReport, DockingEngine, LigandPrep};
 pub use ga::{Ga, GaParams};
-pub use local_search::{solis_wets, LocalSearchResult, SolisWetsParams};
 pub use genotype::Genotype;
-pub use screen::{screen, ScreenResult, ScreenSummary};
+pub use local_search::{solis_wets, LocalSearchResult, SolisWetsParams};
+pub use screen::{dock_ligand, ligand_seed, screen, ScreenResult, ScreenSummary};
 pub use stats::KernelStats;
+pub use topk::TopK;

@@ -70,6 +70,7 @@ fn gene_scale(k: usize) -> f32 {
 }
 
 /// Clamp a candidate's translation genes into the search box.
+#[allow(clippy::needless_range_loop)] // three named axes, indexed in lockstep
 fn clamp_translation(g: &mut Genotype, center: Vec3, bound: f32) {
     let c = [center.x, center.y, center.z];
     for k in 0..3 {
@@ -88,6 +89,7 @@ pub struct LocalSearchResult {
 /// Refine one genotype with Solis–Wets against the engine's scoring
 /// function. Deterministic given the RNG state.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // gene vectors indexed in lockstep with `dev`/`bias`
 pub fn solis_wets(
     engine: &DockingEngine<'_>,
     prep: &LigandPrep,
@@ -167,7 +169,11 @@ pub fn solis_wets(
         }
     }
 
-    LocalSearchResult { genotype: best, score: best_score, evaluations }
+    LocalSearchResult {
+        genotype: best,
+        score: best_score,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +231,10 @@ mod tests {
                 improved += 1;
             }
         }
-        assert!(improved >= 4, "local search should usually improve random poses");
+        assert!(
+            improved >= 4,
+            "local search should usually improve random poses"
+        );
     }
 
     #[test]
@@ -233,7 +242,11 @@ mod tests {
         let (gs, prep) = setup();
         let engine = DockingEngine::new(&gs).unwrap();
         let base = DockParams {
-            ga: GaParams { population: 20, generations: 10, ..Default::default() },
+            ga: GaParams {
+                population: 20,
+                generations: 10,
+                ..Default::default()
+            },
             seed: 2024,
             backend: Backend::Explicit(SimdLevel::detect()),
             search_radius: Some(4.0),

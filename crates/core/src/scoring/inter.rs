@@ -64,9 +64,18 @@ fn inter_reference_impl(
         total += e_t + e_e + e_d + pen;
         if let Some(tr) = trace.as_mut() {
             let cell = cell000(gs, p);
-            tr.push(GridAccess { map: ty as u16, cell });
-            tr.push(GridAccess { map: ELEC_MAP as u16, cell });
-            tr.push(GridAccess { map: DESOLV_MAP as u16, cell });
+            tr.push(GridAccess {
+                map: ty as u16,
+                cell,
+            });
+            tr.push(GridAccess {
+                map: ELEC_MAP as u16,
+                cell,
+            });
+            tr.push(GridAccess {
+                map: DESOLV_MAP as u16,
+                cell,
+            });
         }
     }
     total
@@ -85,7 +94,12 @@ fn cell000(gs: &GridSet, p: mudock_mol::Vec3) -> u32 {
 /// Width-generic inter-energy kernel: vectorized trilinear interpolation
 /// with gathers into the concatenated map buffer.
 #[inline(always)]
-pub fn inter_energy_kernel<S: Simd>(s: S, gs: &GridSet, conf: &ConformSoA, st: &AtomStatics) -> f32 {
+pub fn inter_energy_kernel<S: Simd>(
+    s: S,
+    gs: &GridSet,
+    conf: &ConformSoA,
+    st: &AtomStatics,
+) -> f32 {
     let dims = &gs.dims;
     let stride = gs.stride() as f32;
     // All f32 index arithmetic must stay exact: every integer involved has
@@ -185,6 +199,7 @@ pub fn inter_energy_kernel<S: Simd>(s: S, gs: &GridSet, conf: &ConformSoA, st: &
 /// All eight corner indices must be in range for `data` (guaranteed by the
 /// caller's clamping).
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // eight corner indices of the lattice cell
 unsafe fn trilerp<S: Simd>(
     s: S,
     data: &[f32],
@@ -241,7 +256,13 @@ mod tests {
 
     fn setup() -> (GridSet, ConformSoA, AtomStatics) {
         let rec = synthetic_receptor(5, 120, 8.0);
-        let lig = synthetic_ligand(6, LigandSpec { heavy_atoms: 18, torsions: 4 });
+        let lig = synthetic_ligand(
+            6,
+            LigandSpec {
+                heavy_atoms: 18,
+                torsions: 4,
+            },
+        );
         let types: Vec<AtomType> = {
             let mut t: Vec<AtomType> = lig.atoms.iter().map(|a| a.ty).collect();
             t.sort_unstable();

@@ -46,8 +46,8 @@ pub fn intra_energy_reference(conf: &ConformSoA, pairs: &PairsSoA) -> f32 {
         let inv_r6 = inv_r2 * inv_r2 * inv_r2;
         let inv_r10 = inv_r6 * inv_r2 * inv_r2;
         let inv_r12 = inv_r6 * inv_r6;
-        let vdw = (pairs.c12[k] * inv_r12 - pairs.c6[k] * inv_r6 - pairs.c10[k] * inv_r10)
-            .min(ECLAMP);
+        let vdw =
+            (pairs.c12[k] * inv_r12 - pairs.c6[k] * inv_r6 - pairs.c10[k] * inv_r10).min(ECLAMP);
         // Electrostatics with distance-dependent dielectric.
         let elec = pairs.qq[k] / (mudock_ff::terms::dielectric(r) * r);
         // Desolvation.
@@ -127,7 +127,13 @@ mod tests {
     use mudock_molio::{synthetic_ligand, LigandSpec};
 
     fn prep(seed: u64) -> (Molecule, Topology, ConformSoA, PairsSoA) {
-        let m = synthetic_ligand(seed, LigandSpec { heavy_atoms: 25, torsions: 5 });
+        let m = synthetic_ligand(
+            seed,
+            LigandSpec {
+                heavy_atoms: 25,
+                torsions: 5,
+            },
+        );
         let topo = Topology::build(&m);
         let conf = ConformSoA::from_molecule(&m);
         let pairs = PairsSoA::build(&m, &topo, &PairTable::new());

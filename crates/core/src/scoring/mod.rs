@@ -8,8 +8,7 @@ pub mod intra;
 pub mod pairs;
 
 pub use inter::{
-    inter_energy_reference, inter_energy_simd, inter_energy_traced, GridAccess,
-    OUT_OF_BOX_PENALTY,
+    inter_energy_reference, inter_energy_simd, inter_energy_traced, GridAccess, OUT_OF_BOX_PENALTY,
 };
 pub use intra::{intra_energy_reference, intra_energy_simd};
 pub use pairs::PairsSoA;

@@ -86,8 +86,13 @@ mod tests {
     fn chain(n: usize) -> (Molecule, Topology) {
         let mut m = Molecule::new("chain");
         for k in 0..n {
-            let ty = if k % 3 == 0 { AtomType::OA } else { AtomType::C };
-            m.atoms.push(Atom::new(Vec3::new(k as f32 * 1.5, 0.0, 0.0), ty, 0.1));
+            let ty = if k % 3 == 0 {
+                AtomType::OA
+            } else {
+                AtomType::C
+            };
+            m.atoms
+                .push(Atom::new(Vec3::new(k as f32 * 1.5, 0.0, 0.0), ty, 0.1));
         }
         for k in 0..n - 1 {
             m.bonds.push(Bond::new(k as u32, k as u32 + 1, false));

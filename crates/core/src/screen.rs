@@ -7,6 +7,7 @@ use mudock_mol::Molecule;
 
 use crate::engine::{DockParams, DockingEngine, LigandPrep};
 use crate::stats::KernelStats;
+use crate::topk::TopK;
 
 /// Outcome for one ligand of a screening batch.
 #[derive(Clone, Debug)]
@@ -34,19 +35,17 @@ pub struct ScreenSummary {
 }
 
 impl ScreenSummary {
-    /// Indices of the `k` best-scoring ligands.
+    /// Indices of the `k` best-scoring ligands (ties rank by batch
+    /// order). Streams through [`TopK`] — O(k) memory rather than a full
+    /// sort, the same accumulator `mudock-serve` uses incrementally.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.results.len())
-            .filter(|&i| self.results[i].best_score.is_some())
-            .collect();
-        idx.sort_by(|&a, &b| {
-            self.results[a]
-                .best_score
-                .unwrap()
-                .total_cmp(&self.results[b].best_score.unwrap())
-        });
-        idx.truncate(k);
-        idx
+        let mut top = TopK::new(k);
+        for (i, r) in self.results.iter().enumerate() {
+            if let Some(score) = r.best_score {
+                top.push(score, i);
+            }
+        }
+        top.into_sorted().into_iter().map(|(_, i)| i).collect()
     }
 
     /// Aggregated kernel counters across the batch.
@@ -56,6 +55,45 @@ impl ScreenSummary {
             total.merge(&r.stats);
         }
         total
+    }
+}
+
+/// Per-ligand GA seed: `base` decorrelated by the ligand's position in
+/// the batch. Keyed on the *global* batch index (not the scheduling
+/// order), so a chunked or resumed run — the `mudock-serve` path —
+/// reproduces a sequential run bit-for-bit.
+pub fn ligand_seed(base: u64, batch_index: usize) -> u64 {
+    base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(batch_index as u64 + 1)
+}
+
+/// Dock the ligand at `batch_index` of a screening batch. Preparation or
+/// docking failures degrade to a `None` score rather than aborting the
+/// batch — one bad ligand must not sink a million-ligand campaign.
+/// Shared by [`screen`] and the chunked executor in `mudock-serve`.
+pub fn dock_ligand(
+    engine: &DockingEngine,
+    lig: &Molecule,
+    params: &DockParams,
+    batch_index: usize,
+) -> ScreenResult {
+    let mut p = params.clone();
+    p.seed = ligand_seed(params.seed, batch_index);
+    let report = LigandPrep::new(lig.clone())
+        .ok()
+        .and_then(|prep| engine.dock(&prep, &p).ok());
+    match report {
+        Some(rep) => ScreenResult {
+            name: lig.name.clone(),
+            best_score: Some(rep.best_score),
+            evaluations: rep.evaluations,
+            stats: rep.stats,
+        },
+        None => ScreenResult {
+            name: lig.name.clone(),
+            best_score: None,
+            evaluations: 0,
+            stats: KernelStats::default(),
+        },
     }
 }
 
@@ -71,34 +109,16 @@ pub fn screen(
     let engine = DockingEngine::new(grids).expect("grid set too large for the engine");
     let start = std::time::Instant::now();
     let (results, stats) = mudock_pool::parallel_map_stats(ligands, threads, |i, lig| {
-        let mut p = params.clone();
-        p.seed = params.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
-        match LigandPrep::new(lig.clone()) {
-            Ok(prep) => match engine.dock(&prep, &p) {
-                Ok(rep) => ScreenResult {
-                    name: lig.name.clone(),
-                    best_score: Some(rep.best_score),
-                    evaluations: rep.evaluations,
-                    stats: rep.stats,
-                },
-                Err(_) => ScreenResult {
-                    name: lig.name.clone(),
-                    best_score: None,
-                    evaluations: 0,
-                    stats: KernelStats::default(),
-                },
-            },
-            Err(_) => ScreenResult {
-                name: lig.name.clone(),
-                best_score: None,
-                evaluations: 0,
-                stats: KernelStats::default(),
-            },
-        }
+        dock_ligand(&engine, lig, params, i)
     });
     let elapsed = start.elapsed();
     let throughput = ligands.len() as f64 / elapsed.as_secs_f64().max(1e-9);
-    ScreenSummary { results, elapsed, threads: stats.threads, throughput }
+    ScreenSummary {
+        results,
+        elapsed,
+        threads: stats.threads,
+        throughput,
+    }
 }
 
 #[cfg(test)]
@@ -107,9 +127,9 @@ mod tests {
     use crate::engine::Backend;
     use crate::ga::GaParams;
     use mudock_grids::{GridBuilder, GridDims};
+    use mudock_mol::Vec3;
     use mudock_molio::{mediate_like_set, synthetic_receptor};
     use mudock_simd::SimdLevel;
-    use mudock_mol::Vec3;
 
     fn tiny_batch() -> (GridSet, Vec<Molecule>) {
         let rec = synthetic_receptor(21, 150, 9.0);
@@ -122,7 +142,11 @@ mod tests {
 
     fn quick_params() -> DockParams {
         DockParams {
-            ga: GaParams { population: 12, generations: 6, ..Default::default() },
+            ga: GaParams {
+                population: 12,
+                generations: 6,
+                ..Default::default()
+            },
             seed: 99,
             backend: Backend::Explicit(SimdLevel::detect()),
             search_radius: Some(4.0),
@@ -164,6 +188,50 @@ mod tests {
                     <= summary.results[w[1]].best_score.unwrap()
             );
         }
+    }
+
+    /// Summary with hand-written scores (no docking) for top_k edge cases.
+    fn summary_with_scores(scores: &[Option<f32>]) -> ScreenSummary {
+        ScreenSummary {
+            results: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ScreenResult {
+                    name: format!("lig{i}"),
+                    best_score: s,
+                    evaluations: 0,
+                    stats: KernelStats::default(),
+                })
+                .collect(),
+            elapsed: std::time::Duration::from_millis(1),
+            threads: 1,
+            throughput: 0.0,
+        }
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_batch_order() {
+        let s = summary_with_scores(&[Some(-2.0), Some(-5.0), Some(-2.0), Some(-5.0), Some(-2.0)]);
+        assert_eq!(s.top_k(4), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn top_k_skips_failed_ligands() {
+        let s = summary_with_scores(&[None, Some(1.0), None, Some(-1.0), None]);
+        assert_eq!(s.top_k(3), vec![3, 1]);
+
+        let all_failed = summary_with_scores(&[None, None, None]);
+        assert!(all_failed.top_k(2).is_empty());
+    }
+
+    #[test]
+    fn top_k_with_k_beyond_len_returns_all_scored() {
+        let s = summary_with_scores(&[Some(3.0), Some(-3.0), None, Some(0.0)]);
+        assert_eq!(s.top_k(100), vec![1, 3, 0]);
+        assert!(s.top_k(0).is_empty());
+
+        let empty = summary_with_scores(&[]);
+        assert!(empty.top_k(5).is_empty());
     }
 
     #[test]

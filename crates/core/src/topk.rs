@@ -1,0 +1,233 @@
+//! Incremental top-k selection over streaming scores.
+//!
+//! Virtual screening wants the `k` best-scoring ligands out of millions;
+//! collecting every result and sorting afterwards costs O(n log n) memory
+//! and time and cannot stream. [`TopK`] keeps a bounded max-heap of the
+//! `k` best entries seen so far: O(k) memory, O(log k) per insert, and a
+//! rank list available at any point of the stream. Both
+//! [`ScreenSummary::top_k`](crate::screen::ScreenSummary::top_k) and the
+//! `mudock-serve` result sink are built on it.
+//!
+//! Ordering is total and deterministic: lower score ranks first; equal
+//! scores rank in insertion order (earlier wins). Non-finite scores are
+//! rejected — a NaN from a degenerate pose must not poison the heap.
+
+use std::collections::BinaryHeap;
+
+/// One retained entry: score plus an insertion sequence number that
+/// breaks ties deterministically.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    score: f32,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: the *worst* retained entry sits at the top. Worse =
+        // higher score, or same score inserted later.
+        self.score
+            .total_cmp(&other.score)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Bounded accumulator of the `k` lowest-scoring items of a stream.
+#[derive(Clone, Debug)]
+pub struct TopK<T> {
+    k: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> TopK<T> {
+    /// Accumulator retaining the `k` best (lowest-score) items.
+    pub fn new(k: usize) -> TopK<T> {
+        TopK {
+            k,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The `k` this accumulator retains.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Entries currently retained (`min(k, items offered so far)`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current cutoff: the score a candidate must beat once the
+    /// accumulator is full. `None` while fewer than `k` entries are held.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.score)
+        }
+    }
+
+    /// Offer one scored item; returns whether it was retained. Non-finite
+    /// scores are always rejected.
+    pub fn push(&mut self, score: f32, item: T) -> bool {
+        if !score.is_finite() || self.k == 0 {
+            return false;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { score, seq, item });
+            return true;
+        }
+        // Full: replace the worst entry iff the candidate beats it. A tie
+        // loses — the incumbent was inserted earlier.
+        let worst = self.heap.peek().expect("k > 0 and heap is full");
+        if score.total_cmp(&worst.score).is_lt() {
+            self.heap.pop();
+            self.heap.push(Entry { score, seq, item });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fold another accumulator in (e.g. per-shard partial top-k).
+    /// `other`'s entries rank after `self`'s on exact score ties.
+    pub fn merge(&mut self, other: TopK<T>) {
+        let mut entries: Vec<Entry<T>> = other.heap.into_vec();
+        entries.sort_unstable_by_key(|a| a.seq);
+        for e in entries {
+            self.push(e.score, e.item);
+        }
+    }
+
+    /// Consume into `(score, item)` pairs, best first.
+    pub fn into_sorted(self) -> Vec<(f32, T)> {
+        let mut entries = self.heap.into_vec();
+        entries.sort_unstable_by(|a, b| a.score.total_cmp(&b.score).then(a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_k_best_in_order() {
+        let mut t = TopK::new(3);
+        for (i, s) in [5.0f32, -1.0, 3.0, -4.0, 2.0, 0.0].into_iter().enumerate() {
+            t.push(s, i);
+        }
+        let ranked = t.into_sorted();
+        assert_eq!(
+            ranked.iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+            vec![3, 1, 5]
+        );
+        assert_eq!(ranked[0].0, -4.0);
+    }
+
+    #[test]
+    fn ties_prefer_earlier_insertion() {
+        let mut t = TopK::new(2);
+        assert!(t.push(1.0, "a"));
+        assert!(t.push(1.0, "b"));
+        // Equal to the current worst → rejected; the incumbents stay.
+        assert!(!t.push(1.0, "c"));
+        let ranked = t.into_sorted();
+        assert_eq!(
+            ranked.iter().map(|&(_, x)| x).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_scores() {
+        let mut t = TopK::new(4);
+        assert!(!t.push(f32::NAN, 0));
+        assert!(!t.push(f32::INFINITY, 1));
+        assert!(!t.push(f32::NEG_INFINITY, 2));
+        assert!(t.push(-1.0e30, 3));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn k_zero_and_underfull() {
+        let mut z: TopK<u8> = TopK::new(0);
+        assert!(!z.push(0.0, 1));
+        assert!(z.into_sorted().is_empty());
+
+        let mut t = TopK::new(10);
+        t.push(2.0, "x");
+        t.push(1.0, "y");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.threshold(), None);
+        let ranked = t.into_sorted();
+        assert_eq!(
+            ranked.iter().map(|&(_, x)| x).collect::<Vec<_>>(),
+            vec!["y", "x"]
+        );
+    }
+
+    #[test]
+    fn threshold_tracks_worst_retained() {
+        let mut t = TopK::new(2);
+        t.push(5.0, ());
+        t.push(3.0, ());
+        assert_eq!(t.threshold(), Some(5.0));
+        t.push(1.0, ());
+        assert_eq!(t.threshold(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let scores = [4.0f32, -2.0, 7.0, -2.0, 0.5, 9.0, -3.25, 1.0];
+        let mut whole = TopK::new(4);
+        for (i, &s) in scores.iter().enumerate() {
+            whole.push(s, i);
+        }
+        let mut left = TopK::new(4);
+        let mut right = TopK::new(4);
+        for (i, &s) in scores.iter().enumerate() {
+            if i < 4 {
+                left.push(s, i);
+            } else {
+                right.push(s, i);
+            }
+        }
+        left.merge(right);
+        assert_eq!(
+            whole
+                .into_sorted()
+                .iter()
+                .map(|&(s, i)| (s.to_bits(), i))
+                .collect::<Vec<_>>(),
+            left.into_sorted()
+                .iter()
+                .map(|&(s, i)| (s.to_bits(), i))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -172,7 +172,11 @@ mod tests {
         // otherwise rotating the fragment is a no-op.
         for i in 0..5 {
             m.atoms.push(Atom::new(
-                Vec3::new(i as f32 * 1.3, if i % 2 == 0 { 0.0 } else { 0.9 }, 0.1 * i as f32),
+                Vec3::new(
+                    i as f32 * 1.3,
+                    if i % 2 == 0 { 0.0 } else { 0.9 },
+                    0.1 * i as f32,
+                ),
                 AtomType::C,
                 0.0,
             ));

@@ -64,33 +64,131 @@ pub struct TypeParams {
 /// AD4.1 parameters in [`AtomType::ALL`] order.
 pub const TYPE_PARAMS: [TypeParams; NUM_TYPES] = [
     // C
-    TypeParams { rii: 4.00, epsii: 0.150, vol: 33.5103, solpar: -0.00143, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.00,
+        epsii: 0.150,
+        vol: 33.5103,
+        solpar: -0.00143,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // A
-    TypeParams { rii: 4.00, epsii: 0.150, vol: 33.5103, solpar: -0.00052, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.00,
+        epsii: 0.150,
+        vol: 33.5103,
+        solpar: -0.00052,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // N
-    TypeParams { rii: 3.50, epsii: 0.160, vol: 22.4493, solpar: -0.00162, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 3.50,
+        epsii: 0.160,
+        vol: 22.4493,
+        solpar: -0.00162,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // NA
-    TypeParams { rii: 3.50, epsii: 0.160, vol: 22.4493, solpar: -0.00162, rij_hb: 1.9, eps_hb: 5.0 },
+    TypeParams {
+        rii: 3.50,
+        epsii: 0.160,
+        vol: 22.4493,
+        solpar: -0.00162,
+        rij_hb: 1.9,
+        eps_hb: 5.0,
+    },
     // OA
-    TypeParams { rii: 3.20, epsii: 0.200, vol: 17.1573, solpar: -0.00251, rij_hb: 1.9, eps_hb: 5.0 },
+    TypeParams {
+        rii: 3.20,
+        epsii: 0.200,
+        vol: 17.1573,
+        solpar: -0.00251,
+        rij_hb: 1.9,
+        eps_hb: 5.0,
+    },
     // S
-    TypeParams { rii: 4.00, epsii: 0.200, vol: 33.5103, solpar: -0.00214, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.00,
+        epsii: 0.200,
+        vol: 33.5103,
+        solpar: -0.00214,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // SA
-    TypeParams { rii: 4.00, epsii: 0.200, vol: 33.5103, solpar: -0.00214, rij_hb: 2.5, eps_hb: 1.0 },
+    TypeParams {
+        rii: 4.00,
+        epsii: 0.200,
+        vol: 33.5103,
+        solpar: -0.00214,
+        rij_hb: 2.5,
+        eps_hb: 1.0,
+    },
     // H
-    TypeParams { rii: 2.00, epsii: 0.020, vol: 0.0, solpar: 0.00051, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 2.00,
+        epsii: 0.020,
+        vol: 0.0,
+        solpar: 0.00051,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // HD
-    TypeParams { rii: 2.00, epsii: 0.020, vol: 0.0, solpar: 0.00051, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 2.00,
+        epsii: 0.020,
+        vol: 0.0,
+        solpar: 0.00051,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // F
-    TypeParams { rii: 3.09, epsii: 0.080, vol: 15.4480, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 3.09,
+        epsii: 0.080,
+        vol: 15.4480,
+        solpar: -0.00110,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // Cl
-    TypeParams { rii: 4.09, epsii: 0.276, vol: 35.8235, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.09,
+        epsii: 0.276,
+        vol: 35.8235,
+        solpar: -0.00110,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // Br
-    TypeParams { rii: 4.33, epsii: 0.389, vol: 42.5661, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.33,
+        epsii: 0.389,
+        vol: 42.5661,
+        solpar: -0.00110,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // I
-    TypeParams { rii: 4.72, epsii: 0.550, vol: 55.0585, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.72,
+        epsii: 0.550,
+        vol: 55.0585,
+        solpar: -0.00110,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
     // P
-    TypeParams { rii: 4.20, epsii: 0.200, vol: 38.7924, solpar: -0.00110, rij_hb: 0.0, eps_hb: 0.0 },
+    TypeParams {
+        rii: 4.20,
+        epsii: 0.200,
+        vol: 38.7924,
+        solpar: -0.00110,
+        rij_hb: 0.0,
+        eps_hb: 0.0,
+    },
 ];
 
 /// Look up the static parameters for one type.

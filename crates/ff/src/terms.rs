@@ -6,9 +6,7 @@
 //! (`mudock-grids`) and the SIMD intra-energy kernels (`mudock-core`) are
 //! tested against.
 
-use crate::params::{
-    weights, PairTable, COULOMB, DESOLV_SIGMA, QSOLPAR, SMOOTH,
-};
+use crate::params::{weights, PairTable, COULOMB, DESOLV_SIGMA, QSOLPAR, SMOOTH};
 use crate::types::AtomType;
 
 /// Upper clamp applied to the 12-6/12-10 term, matching AutoGrid's
@@ -132,7 +130,7 @@ pub fn pair_energy(
             pa.vol,
             solvation_param(tb, qb),
             pb.vol,
-        r,
+            r,
         ),
     }
 }

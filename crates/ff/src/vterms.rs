@@ -34,8 +34,8 @@ pub fn smooth_r<S: Simd>(s: S, r: S::V, rij: S::V) -> S::V {
     let half = s.splat(SMOOTH * 0.5);
     let above = s.gt(s.sub(r, rij), half);
     let below = s.gt(s.sub(rij, r), half);
-    let shifted = s.select(above, s.sub(r, half), s.select(below, s.add(r, half), rij));
-    shifted
+
+    s.select(above, s.sub(r, half), s.select(below, s.add(r, half), rij))
 }
 
 /// Vectorized 12-6 / 12-10 van der Waals + hydrogen-bond term with
@@ -43,14 +43,7 @@ pub fn smooth_r<S: Simd>(s: S, r: S::V, rij: S::V) -> S::V {
 /// and `c10` zero for plain vdW pairs (as produced by
 /// [`crate::params::PairTable`]), which makes the power selection free.
 #[inline(always)]
-pub fn vdw_hbond<S: Simd>(
-    s: S,
-    r: S::V,
-    rij: S::V,
-    c12: S::V,
-    c6: S::V,
-    c10: S::V,
-) -> S::V {
+pub fn vdw_hbond<S: Simd>(s: S, r: S::V, rij: S::V, c12: S::V, c6: S::V, c10: S::V) -> S::V {
     let r = smooth_r(s, s.max(r, s.splat(RMIN)), rij);
     let inv_r2 = math::recip_nr(s, s.mul(r, r));
     let inv_r6 = s.mul(s.mul(inv_r2, inv_r2), inv_r2);
@@ -138,7 +131,13 @@ mod tests {
     #[test]
     fn smoothing_matches_scalar_all_levels() {
         for level in SimdLevel::available() {
-            for (r, rij) in [(4.0f32, 4.0f32), (4.2, 4.0), (3.8, 4.0), (5.0, 4.0), (3.0, 4.0)] {
+            for (r, rij) in [
+                (4.0f32, 4.0f32),
+                (4.2, 4.0),
+                (3.8, 4.0),
+                (5.0, 4.0),
+                (3.0, 4.0),
+            ] {
                 let want = terms::smooth_r(r, rij);
                 let got = lane0!(level, |s| smooth_r(s, s.splat(r), s.splat(rij)));
                 assert_eq!(got, want, "{level} r={r} rij={rij}");

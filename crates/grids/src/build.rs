@@ -63,9 +63,7 @@ impl ReceptorTables {
             t.y[j] = a.pos.y;
             t.z[j] = a.pos.z;
             t.qv[j] = vterms::premult::qq(1.0, a.charge);
-            t.dv[j] = weights::DESOLV
-                * QSOLPAR
-                * mudock_ff::params::type_params(a.ty).vol;
+            t.dv[j] = weights::DESOLV * QSOLPAR * mudock_ff::params::type_params(a.ty).vol;
         }
         for &ty in types {
             let pt = mudock_ff::params::type_params(ty);
@@ -167,9 +165,7 @@ impl<'a> GridBuilder<'a> {
                                 let pt = mudock_ff::params::type_params(*ty);
                                 let k = PairTable::index(*ty, a.ty);
                                 let e = terms::vdw_hbond(&table, k, r)
-                                    + weights::DESOLV
-                                        * (pt.solpar * vj[j] + sj[j] * pt.vol)
-                                        * g;
+                                    + weights::DESOLV * (pt.solpar * vj[j] + sj[j] * pt.vol) * g;
                                 let s = gs.stride();
                                 gs.data[ty.idx() * s + cell] += e;
                             }
@@ -227,13 +223,7 @@ impl<'a> GridBuilder<'a> {
 /// Vector-wide accumulation of every map's value at one grid point.
 /// `sums` receives `[type_0, …, type_{n-1}, elec, desolv]`.
 #[inline(always)]
-fn point_sums<S: Simd>(
-    s: S,
-    t: &ReceptorTables,
-    p: Vec3,
-    cutoff2: f32,
-    sums: &mut [f32],
-) {
+fn point_sums<S: Simd>(s: S, t: &ReceptorTables, p: Vec3, cutoff2: f32, sums: &mut [f32]) {
     let px = s.splat(p.x);
     let py = s.splat(p.y);
     let pz = s.splat(p.z);
@@ -299,10 +289,14 @@ mod tests {
 
     fn tiny_receptor() -> Molecule {
         let mut m = Molecule::new("tiny");
-        m.atoms.push(Atom::new(Vec3::new(0.0, 0.0, 0.0), AtomType::OA, -0.4));
-        m.atoms.push(Atom::new(Vec3::new(1.5, 0.0, 0.0), AtomType::C, 0.1));
-        m.atoms.push(Atom::new(Vec3::new(0.0, 1.5, 0.0), AtomType::HD, 0.3));
-        m.atoms.push(Atom::new(Vec3::new(0.0, 0.0, 1.5), AtomType::N, -0.2));
+        m.atoms
+            .push(Atom::new(Vec3::new(0.0, 0.0, 0.0), AtomType::OA, -0.4));
+        m.atoms
+            .push(Atom::new(Vec3::new(1.5, 0.0, 0.0), AtomType::C, 0.1));
+        m.atoms
+            .push(Atom::new(Vec3::new(0.0, 1.5, 0.0), AtomType::HD, 0.3));
+        m.atoms
+            .push(Atom::new(Vec3::new(0.0, 0.0, 1.5), AtomType::N, -0.2));
         m
     }
 
@@ -352,8 +346,11 @@ mod tests {
     #[test]
     fn simd_build_matches_scalar_all_levels() {
         let r = tiny_receptor();
-        let builder = GridBuilder::new(&r, tiny_dims())
-            .with_types(&[AtomType::C, AtomType::OA, AtomType::HD]);
+        let builder = GridBuilder::new(&r, tiny_dims()).with_types(&[
+            AtomType::C,
+            AtomType::OA,
+            AtomType::HD,
+        ]);
         let reference = builder.build_scalar();
         for level in SimdLevel::available() {
             let got = builder.build_simd(level);

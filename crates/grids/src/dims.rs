@@ -28,7 +28,11 @@ impl GridDims {
         let half_pts = (half_extent / spacing).ceil() as u32;
         let npts = 2 * half_pts + 1;
         let origin = center - Vec3::new(1.0, 1.0, 1.0) * (half_pts as f32 * spacing);
-        GridDims { npts: [npts, npts, npts], spacing, origin }
+        GridDims {
+            npts: [npts, npts, npts],
+            spacing,
+            origin,
+        }
     }
 
     /// Total number of points in one map.
@@ -40,8 +44,7 @@ impl GridDims {
     /// Linear index of point `(ix, iy, iz)` (x fastest).
     #[inline(always)]
     pub fn linear(&self, ix: u32, iy: u32, iz: u32) -> usize {
-        ((iz as usize * self.npts[1] as usize) + iy as usize) * self.npts[0] as usize
-            + ix as usize
+        ((iz as usize * self.npts[1] as usize) + iy as usize) * self.npts[0] as usize + ix as usize
     }
 
     /// Cartesian position of a grid point.
@@ -109,7 +112,11 @@ mod tests {
 
     #[test]
     fn linear_index_is_x_fastest() {
-        let d = GridDims { npts: [4, 3, 2], spacing: 1.0, origin: Vec3::ZERO };
+        let d = GridDims {
+            npts: [4, 3, 2],
+            spacing: 1.0,
+            origin: Vec3::ZERO,
+        };
         assert_eq!(d.linear(0, 0, 0), 0);
         assert_eq!(d.linear(1, 0, 0), 1);
         assert_eq!(d.linear(0, 1, 0), 4);
@@ -120,7 +127,11 @@ mod tests {
 
     #[test]
     fn containment_and_outside_distance() {
-        let d = GridDims { npts: [11, 11, 11], spacing: 1.0, origin: Vec3::ZERO };
+        let d = GridDims {
+            npts: [11, 11, 11],
+            spacing: 1.0,
+            origin: Vec3::ZERO,
+        };
         assert!(d.contains(Vec3::new(5.0, 5.0, 5.0)));
         assert!(d.contains(Vec3::new(0.0, 0.0, 0.0)));
         assert!(d.contains(Vec3::new(10.0, 10.0, 10.0)));

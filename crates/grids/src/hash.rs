@@ -1,0 +1,164 @@
+//! Content fingerprints for grid caching.
+//!
+//! Building a grid set is the dominant fixed cost of a screening job
+//! (AutoGrid-style precomputation over every lattice point), and virtual
+//! screening campaigns hammer the *same* receptor with millions of
+//! ligands. `mudock-serve` therefore caches built [`GridSet`]s keyed by
+//! *what went into the build*: receptor content and lattice geometry.
+//! This module provides those keys as stable 64-bit FNV-1a fingerprints —
+//! independent of pointer identity, allocation order, or molecule names,
+//! and stable across processes so cache keys can live in checkpoints.
+
+use mudock_mol::Molecule;
+
+use crate::dims::GridDims;
+
+/// Incremental FNV-1a (64-bit) hasher. Small, dependency-free, and — in
+/// contrast with `std`'s `DefaultHasher` — guaranteed stable across Rust
+/// releases, which matters because fingerprints are persisted.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Hash an `f32` by bit pattern (exact content, no epsilon: a cache
+    /// must only ever hit on *identical* inputs).
+    #[inline]
+    pub fn write_f32(&mut self, v: f32) -> &mut Self {
+        self.write_u32(v.to_bits())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of everything about a receptor that influences a grid
+/// build: atom positions, types, and charges, plus the atom count.
+/// Names and bonds are excluded — the builder never reads them.
+pub fn receptor_fingerprint(receptor: &Molecule) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(receptor.atoms.len() as u64);
+    for a in &receptor.atoms {
+        h.write_f32(a.pos.x)
+            .write_f32(a.pos.y)
+            .write_f32(a.pos.z)
+            .write_u32(a.ty.idx() as u32)
+            .write_f32(a.charge);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the lattice geometry (point counts, spacing, origin).
+pub fn dims_fingerprint(dims: &GridDims) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u32(dims.npts[0])
+        .write_u32(dims.npts[1])
+        .write_u32(dims.npts[2])
+        .write_f32(dims.spacing)
+        .write_f32(dims.origin.x)
+        .write_f32(dims.origin.y)
+        .write_f32(dims.origin.z);
+    h.finish()
+}
+
+/// Combined cache key for a full-map grid build of `receptor` on `dims`.
+///
+/// The two component hashes are mixed rather than XORed so that
+/// (receptor A, dims B) and (receptor B, dims A) cannot collide by
+/// construction.
+pub fn grid_cache_key(receptor: &Molecule, dims: &GridDims) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(receptor_fingerprint(receptor));
+    h.write_u64(dims_fingerprint(dims));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudock_ff::types::AtomType;
+    use mudock_mol::{Atom, Vec3};
+
+    fn mol(n: usize, offset: f32) -> Molecule {
+        let mut m = Molecule::new("r");
+        for i in 0..n {
+            m.atoms.push(Atom::new(
+                Vec3::new(i as f32 + offset, 0.5, -1.0),
+                AtomType::C,
+                0.01,
+            ));
+        }
+        m
+    }
+
+    #[test]
+    fn identical_content_identical_key() {
+        let dims = GridDims::centered(Vec3::ZERO, 5.0, 0.5);
+        let a = mol(10, 0.0);
+        let mut b = mol(10, 0.0);
+        b.name = "completely different name".into();
+        assert_eq!(grid_cache_key(&a, &dims), grid_cache_key(&b, &dims));
+    }
+
+    #[test]
+    fn any_content_change_changes_key() {
+        let dims = GridDims::centered(Vec3::ZERO, 5.0, 0.5);
+        let base = mol(10, 0.0);
+        let base_key = grid_cache_key(&base, &dims);
+
+        let moved = mol(10, 1e-3);
+        assert_ne!(base_key, grid_cache_key(&moved, &dims));
+
+        let mut retyped = mol(10, 0.0);
+        retyped.atoms[3].ty = AtomType::OA;
+        assert_ne!(base_key, grid_cache_key(&retyped, &dims));
+
+        let mut recharged = mol(10, 0.0);
+        recharged.atoms[0].charge += 0.5;
+        assert_ne!(base_key, grid_cache_key(&recharged, &dims));
+
+        let other_dims = GridDims::centered(Vec3::ZERO, 5.0, 0.55);
+        assert_ne!(base_key, grid_cache_key(&base, &other_dims));
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Fingerprints are persisted in checkpoints, so the hash must
+        // match the published FNV-1a test vectors forever.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::new().write(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            Fnv64::new().write(b"foobar").finish(),
+            0x8594_4171_f739_67e8
+        );
+    }
+}

@@ -34,7 +34,10 @@ pub enum GridIoError {
     /// Header fields are out of sane ranges.
     BadHeader(String),
     /// File size does not match the header's dimensions.
-    Truncated { expected: usize, got: usize },
+    Truncated {
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for GridIoError {
@@ -44,7 +47,10 @@ impl std::fmt::Display for GridIoError {
             GridIoError::BadMagic => write!(f, "not a mudock grid file"),
             GridIoError::BadHeader(m) => write!(f, "bad grid header: {m}"),
             GridIoError::Truncated { expected, got } => {
-                write!(f, "grid file truncated: expected {expected} data bytes, got {got}")
+                write!(
+                    f,
+                    "grid file truncated: expected {expected} data bytes, got {got}"
+                )
             }
         }
     }
@@ -113,7 +119,11 @@ pub fn load(path: &Path) -> Result<GridSet, GridIoError> {
         return Err(GridIoError::BadHeader("non-finite origin".into()));
     }
 
-    let dims = GridDims { npts, spacing, origin: Vec3::new(ox, oy, oz) };
+    let dims = GridDims {
+        npts,
+        spacing,
+        origin: Vec3::new(ox, oy, oz),
+    };
     let mut built_bytes = [0u8; NUM_MAPS];
     r.read_exact(&mut built_bytes)?;
 
@@ -122,7 +132,10 @@ pub fn load(path: &Path) -> Result<GridSet, GridIoError> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
     if raw.len() != expected {
-        return Err(GridIoError::Truncated { expected, got: raw.len() });
+        return Err(GridIoError::Truncated {
+            expected,
+            got: raw.len(),
+        });
     }
 
     let mut gs = GridSet::empty(dims);
@@ -145,7 +158,8 @@ mod tests {
     fn sample() -> GridSet {
         let mut rec = Molecule::new("r");
         rec.atoms.push(Atom::new(Vec3::ZERO, AtomType::OA, -0.3));
-        rec.atoms.push(Atom::new(Vec3::new(2.0, 0.0, 0.0), AtomType::C, 0.1));
+        rec.atoms
+            .push(Atom::new(Vec3::new(2.0, 0.0, 0.0), AtomType::C, 0.1));
         let dims = GridDims::centered(Vec3::ZERO, 3.0, 0.8);
         GridBuilder::new(&rec, dims)
             .with_types(&[AtomType::C, AtomType::HD])
@@ -209,7 +223,11 @@ mod tests {
         let path = tmp("sample.grid");
         save(&gs, &path).unwrap();
         let back = load(&path).unwrap();
-        for p in [Vec3::ZERO, Vec3::new(1.3, -0.7, 0.4), Vec3::new(-2.0, 2.0, 1.0)] {
+        for p in [
+            Vec3::ZERO,
+            Vec3::new(1.3, -0.7, 0.4),
+            Vec3::new(-2.0, 2.0, 1.0),
+        ] {
             assert_eq!(
                 gs.sample(AtomType::C.idx(), p).to_bits(),
                 back.sample(AtomType::C.idx(), p).to_bits()

@@ -37,12 +37,14 @@
 
 pub mod build;
 pub mod dims;
+pub mod hash;
 pub mod io;
 pub mod map;
 
 pub use build::GridBuilder;
-pub use io::{load as load_grids, save as save_grids, GridIoError};
 pub use dims::{GridDims, DEFAULT_SPACING};
+pub use hash::{dims_fingerprint, grid_cache_key, receptor_fingerprint, Fnv64};
+pub use io::{load as load_grids, save as save_grids, GridIoError};
 pub use map::{trilinear, GridSet, DESOLV_MAP, ELEC_MAP, NUM_MAPS};
 
 pub use mudock_simd::SimdLevel;

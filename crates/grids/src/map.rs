@@ -121,7 +121,11 @@ mod tests {
     use super::*;
 
     fn dims() -> GridDims {
-        GridDims { npts: [5, 5, 5], spacing: 1.0, origin: Vec3::ZERO }
+        GridDims {
+            npts: [5, 5, 5],
+            spacing: 1.0,
+            origin: Vec3::ZERO,
+        }
     }
 
     /// Linear field f(x,y,z) = 2x + 3y - z + 1 is reproduced exactly by

@@ -78,7 +78,11 @@ impl std::error::Error for MoleculeError {}
 
 impl Molecule {
     pub fn new(name: impl Into<String>) -> Molecule {
-        Molecule { name: name.into(), atoms: Vec::new(), bonds: Vec::new() }
+        Molecule {
+            name: name.into(),
+            atoms: Vec::new(),
+            bonds: Vec::new(),
+        }
     }
 
     pub fn num_atoms(&self) -> usize {
@@ -199,18 +203,17 @@ impl Topology {
 
         let pairs = Self::nonbonded_pairs(&adjacency, n);
 
-        Topology { adjacency, torsions, pairs }
+        Topology {
+            adjacency,
+            torsions,
+            pairs,
+        }
     }
 
     /// Moving fragment for a rotatable bond `(i, j)`: the atoms reachable
     /// from `j` without crossing the bond. Returns `None` when the bond is
     /// part of a ring (removal does not disconnect) or nothing would move.
-    fn torsion_for_bond(
-        adjacency: &[Vec<u32>],
-        n: usize,
-        i: u32,
-        j: u32,
-    ) -> Option<Torsion> {
+    fn torsion_for_bond(adjacency: &[Vec<u32>], n: usize, i: u32, j: u32) -> Option<Torsion> {
         let mut seen = vec![false; n];
         seen[j as usize] = true;
         let mut stack = vec![j];
@@ -241,6 +244,7 @@ impl Topology {
     }
 
     /// All unordered pairs with graph distance > [`EXCLUSION_DEPTH`].
+    #[allow(clippy::needless_range_loop)] // pairwise index loops over `dist`
     fn nonbonded_pairs(adjacency: &[Vec<u32>], n: usize) -> Vec<(u32, u32)> {
         // BFS from each atom to depth 3 marks the excluded neighborhood.
         let mut pairs = Vec::new();
@@ -400,7 +404,8 @@ mod tests {
         // Two disjoint atoms: one pair, no exclusions.
         let mut m = Molecule::new("dimer");
         m.atoms.push(Atom::new(Vec3::ZERO, AtomType::C, 0.0));
-        m.atoms.push(Atom::new(Vec3::new(5.0, 0.0, 0.0), AtomType::OA, -0.3));
+        m.atoms
+            .push(Atom::new(Vec3::new(5.0, 0.0, 0.0), AtomType::OA, -0.3));
         let t = Topology::build(&m);
         assert_eq!(t.pairs, vec![(0, 1)]);
     }

@@ -16,7 +16,12 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub fn new(w: f32, x: f32, y: f32, z: f32) -> Quat {
@@ -27,7 +32,12 @@ impl Quat {
     pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
         let a = axis.normalized();
         let (s, c) = (angle * 0.5).sin_cos();
-        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+        Quat {
+            w: c,
+            x: a.x * s,
+            y: a.y * s,
+            z: a.z * s,
+        }
     }
 
     /// Uniformly distributed random rotation from three uniforms in
@@ -59,7 +69,12 @@ impl Quat {
     pub fn normalized(self) -> Quat {
         let n = self.norm();
         if n > 1e-12 {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         } else {
             Quat::IDENTITY
         }
@@ -68,10 +83,16 @@ impl Quat {
     /// Conjugate (inverse for unit quaternions).
     #[inline]
     pub fn conj(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Hamilton product `self * o` (apply `o` first, then `self`).
+    #[allow(clippy::should_implement_trait)] // explicit call sites read better in kernels
     pub fn mul(self, o: Quat) -> Quat {
         Quat {
             w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
@@ -161,7 +182,11 @@ mod tests {
     fn rotation_preserves_norm() {
         let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.234);
         for i in 0..50 {
-            let v = Vec3::new(i as f32 * 0.3, (i * i) as f32 * 0.01 - 1.0, 2.0 - i as f32 * 0.1);
+            let v = Vec3::new(
+                i as f32 * 0.3,
+                (i * i) as f32 * 0.01 - 1.0,
+                2.0 - i as f32 * 0.1,
+            );
             let r = q.rotate(v);
             assert!((r.norm() - v.norm()).abs() < 1e-4 * v.norm().max(1.0));
         }

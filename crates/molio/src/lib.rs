@@ -12,9 +12,11 @@
 //!   substitution preserves the paper's behaviour.
 
 pub mod pdbqt;
+pub mod stream;
 pub mod synth;
 
 pub use pdbqt::{parse, perceive_bonds, write, ParseError};
+pub use stream::{parse_models, split_models, ChunkedExt, Chunks, MediateStream};
 pub use synth::{
     complex_1a30_like, mediate_like_set, synthetic_ligand, synthetic_receptor, LigandSpec,
 };

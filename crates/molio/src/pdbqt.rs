@@ -27,14 +27,21 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PDBQT parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "PDBQT parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Tolerance added to the sum of covalent radii when perceiving bonds.
@@ -65,9 +72,18 @@ pub fn parse(text: &str) -> Result<Molecule, ParseError> {
                     .trim()
                     .parse()
                     .map_err(|_| err(lineno, "bad serial"))?;
-                let x: f32 = line[30..38].trim().parse().map_err(|_| err(lineno, "bad x"))?;
-                let y: f32 = line[38..46].trim().parse().map_err(|_| err(lineno, "bad y"))?;
-                let z: f32 = line[46..54].trim().parse().map_err(|_| err(lineno, "bad z"))?;
+                let x: f32 = line[30..38]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad x"))?;
+                let y: f32 = line[38..46]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad y"))?;
+                let z: f32 = line[46..54]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad z"))?;
                 let q: f32 = line[66..76]
                     .trim()
                     .parse()
@@ -79,12 +95,13 @@ pub fn parse(text: &str) -> Result<Molecule, ParseError> {
                     return Err(err(lineno, "too few fields in ATOM record"));
                 }
                 let n = fields.len();
-                let serial: u32 =
-                    fields[1].parse().map_err(|_| err(lineno, "bad serial"))?;
+                let serial: u32 = fields[1].parse().map_err(|_| err(lineno, "bad serial"))?;
                 let x: f32 = fields[n - 5].parse().map_err(|_| err(lineno, "bad x"))?;
                 let y: f32 = fields[n - 4].parse().map_err(|_| err(lineno, "bad y"))?;
                 let z: f32 = fields[n - 3].parse().map_err(|_| err(lineno, "bad z"))?;
-                let q: f32 = fields[n - 2].parse().map_err(|_| err(lineno, "bad charge"))?;
+                let q: f32 = fields[n - 2]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad charge"))?;
                 (serial, x, y, z, q, fields[n - 1])
             };
             let ty = AtomType::parse(ty)
@@ -124,7 +141,12 @@ pub fn parse(text: &str) -> Result<Molecule, ParseError> {
         for (sa, sb) in conect {
             let (&ia, &ib) = match (serial_to_idx.get(&sa), serial_to_idx.get(&sb)) {
                 (Some(a), Some(b)) => (a, b),
-                _ => return Err(err(0, format!("CONECT references unknown serial {sa}/{sb}"))),
+                _ => {
+                    return Err(err(
+                        0,
+                        format!("CONECT references unknown serial {sa}/{sb}"),
+                    ))
+                }
             };
             let key = (ia.min(ib), ia.max(ib));
             if ia != ib && seen.insert(key) {
@@ -138,7 +160,12 @@ pub fn parse(text: &str) -> Result<Molecule, ParseError> {
     for (sa, sb) in rotbonds {
         let (&ia, &ib) = match (serial_to_idx.get(&sa), serial_to_idx.get(&sb)) {
             (Some(a), Some(b)) => (a, b),
-            _ => return Err(err(0, format!("ROTBOND references unknown serial {sa}/{sb}"))),
+            _ => {
+                return Err(err(
+                    0,
+                    format!("ROTBOND references unknown serial {sa}/{sb}"),
+                ))
+            }
         };
         let key = (ia.min(ib), ia.max(ib));
         let mut found = false;
@@ -209,10 +236,14 @@ mod tests {
 
     fn sample() -> Molecule {
         let mut m = Molecule::new("ethanol-ish");
-        m.atoms.push(Atom::new(Vec3::new(0.0, 0.0, 0.0), AtomType::C, 0.05));
-        m.atoms.push(Atom::new(Vec3::new(1.5, 0.0, 0.0), AtomType::C, 0.12));
-        m.atoms.push(Atom::new(Vec3::new(2.2, 1.2, 0.0), AtomType::OA, -0.38));
-        m.atoms.push(Atom::new(Vec3::new(3.1, 1.1, 0.3), AtomType::HD, 0.21));
+        m.atoms
+            .push(Atom::new(Vec3::new(0.0, 0.0, 0.0), AtomType::C, 0.05));
+        m.atoms
+            .push(Atom::new(Vec3::new(1.5, 0.0, 0.0), AtomType::C, 0.12));
+        m.atoms
+            .push(Atom::new(Vec3::new(2.2, 1.2, 0.0), AtomType::OA, -0.38));
+        m.atoms
+            .push(Atom::new(Vec3::new(3.1, 1.1, 0.3), AtomType::HD, 0.21));
         m.bonds.push(Bond::new(0, 1, true));
         m.bonds.push(Bond::new(1, 2, true));
         m.bonds.push(Bond::new(2, 3, false));
@@ -267,7 +298,8 @@ mod tests {
 
     #[test]
     fn bad_type_is_an_error() {
-        let text = "ATOM      1 X1   LIG A   1       0.000   0.000   0.000  1.00  0.00     0.100 Xx\n";
+        let text =
+            "ATOM      1 X1   LIG A   1       0.000   0.000   0.000  1.00  0.00     0.100 Xx\n";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("unknown atom type"));
     }

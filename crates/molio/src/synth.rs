@@ -28,7 +28,10 @@ pub struct LigandSpec {
 
 impl Default for LigandSpec {
     fn default() -> Self {
-        LigandSpec { heavy_atoms: 24, torsions: 6 }
+        LigandSpec {
+            heavy_atoms: 24,
+            torsions: 6,
+        }
     }
 }
 
@@ -156,6 +159,7 @@ pub fn synthetic_ligand(seed: u64, spec: LigandSpec) -> Molecule {
     }
 
     // --- assign heavy types (leaves may carry halogens) -----------------
+    #[allow(clippy::needless_range_loop)] // `i` indexes both `degree` and `mol.atoms`
     for i in 0..n {
         let t = if degree[i] <= 1 {
             sample_weighted(&mut rng, LEAF_TYPES)
@@ -261,7 +265,13 @@ pub fn synthetic_receptor(seed: u64, n_atoms: usize, pocket_radius: f32) -> Mole
 /// docked into the HIV-1 protease pocket.
 pub fn complex_1a30_like() -> (Molecule, Molecule) {
     let receptor = synthetic_receptor(0x1a30, 320, 9.0);
-    let ligand = synthetic_ligand(0x1a30, LigandSpec { heavy_atoms: 24, torsions: 6 });
+    let ligand = synthetic_ligand(
+        0x1a30,
+        LigandSpec {
+            heavy_atoms: 24,
+            torsions: 6,
+        },
+    );
     (receptor, ligand)
 }
 
@@ -270,19 +280,28 @@ pub fn complex_1a30_like() -> (Molecule, Molecule) {
 /// with size) follow the drug-like distribution of the paper's 2,500-
 /// molecule subset.
 pub fn mediate_like_set(seed: u64, count: usize) -> Vec<Molecule> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d65_6469_6174);
-    (0..count)
-        .map(|i| {
-            let heavy = (16.0 * (0.45 * gauss(&mut rng)).exp() + 6.0) as usize;
-            let heavy = heavy.clamp(10, 50);
-            let max_tors = (heavy / 3).min(12);
-            let torsions = rng.random_range(0..=max_tors);
-            let child_seed = seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(i as u64);
-            synthetic_ligand(child_seed, LigandSpec { heavy_atoms: heavy, torsions })
-        })
-        .collect()
+    crate::stream::MediateStream::new(seed, count).collect()
+}
+
+/// Draw the `i`-th ligand of the MEDIATE-like set from `rng` (which must
+/// have produced ligands `0..i` already — spec draws are sequential).
+/// Shared by [`mediate_like_set`] and the lazy
+/// [`MediateStream`](crate::stream::MediateStream).
+pub(crate) fn mediate_like_next(rng: &mut StdRng, seed: u64, i: usize) -> Molecule {
+    let heavy = (16.0 * (0.45 * gauss(rng)).exp() + 6.0) as usize;
+    let heavy = heavy.clamp(10, 50);
+    let max_tors = (heavy / 3).min(12);
+    let torsions = rng.random_range(0..=max_tors);
+    let child_seed = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64);
+    synthetic_ligand(
+        child_seed,
+        LigandSpec {
+            heavy_atoms: heavy,
+            torsions,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -307,7 +326,13 @@ mod tests {
     #[test]
     fn ligand_is_valid_and_centered() {
         for seed in 0..20 {
-            let m = synthetic_ligand(seed, LigandSpec { heavy_atoms: 20, torsions: 5 });
+            let m = synthetic_ligand(
+                seed,
+                LigandSpec {
+                    heavy_atoms: 20,
+                    torsions: 5,
+                },
+            );
             m.validate().unwrap();
             assert!(m.centroid().norm() < 1e-3, "centered at origin");
         }
@@ -316,25 +341,39 @@ mod tests {
     #[test]
     fn requested_torsions_are_valid() {
         for seed in 0..20 {
-            let m = synthetic_ligand(seed, LigandSpec { heavy_atoms: 30, torsions: 8 });
+            let m = synthetic_ligand(
+                seed,
+                LigandSpec {
+                    heavy_atoms: 30,
+                    torsions: 8,
+                },
+            );
             let topo = Topology::build(&m);
             // Tree edges always split the graph: every marked bond is a
             // usable torsion.
             assert_eq!(topo.torsions.len(), m.num_rotatable_bonds());
             assert!(m.num_rotatable_bonds() <= 8);
-            assert!(m.num_rotatable_bonds() >= 1, "30 heavy atoms have internal bonds");
+            assert!(
+                m.num_rotatable_bonds() >= 1,
+                "30 heavy atoms have internal bonds"
+            );
         }
     }
 
     #[test]
     fn no_atom_clashes() {
-        let m = synthetic_ligand(7, LigandSpec { heavy_atoms: 40, torsions: 10 });
+        let m = synthetic_ligand(
+            7,
+            LigandSpec {
+                heavy_atoms: 40,
+                torsions: 10,
+            },
+        );
         for i in 0..m.atoms.len() {
             for j in (i + 1)..m.atoms.len() {
-                let bonded = m
-                    .bonds
-                    .iter()
-                    .any(|b| (b.i, b.j) == (i as u32, j as u32) || (b.i, b.j) == (j as u32, i as u32));
+                let bonded = m.bonds.iter().any(|b| {
+                    (b.i, b.j) == (i as u32, j as u32) || (b.i, b.j) == (j as u32, i as u32)
+                });
                 let d = m.atoms[i].pos.distance(m.atoms[j].pos);
                 if !bonded {
                     assert!(d > 0.9, "atoms {i},{j} clash at {d} Å");

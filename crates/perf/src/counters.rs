@@ -153,7 +153,13 @@ mod tests {
     #[test]
     fn derived_metrics() {
         let m = PerfMonitor::new();
-        m.record("k", Duration::from_secs(1), 2_000_000_000, 500_000_000, 500_000_000);
+        m.record(
+            "k",
+            Duration::from_secs(1),
+            2_000_000_000,
+            500_000_000,
+            500_000_000,
+        );
         let r = m.region("k").unwrap();
         assert!((r.gflops() - 2.0).abs() < 1e-9);
         assert!((r.arithmetic_intensity() - 2.0).abs() < 1e-9);

@@ -34,14 +34,20 @@ pub struct Roofline {
 
 impl Roofline {
     pub fn new(name: impl Into<String>, bw_gbs: f64) -> Roofline {
-        Roofline { name: name.into(), bw_gbs, ceilings: Vec::new() }
+        Roofline {
+            name: name.into(),
+            bw_gbs,
+            ceilings: Vec::new(),
+        }
     }
 
     /// Add a compute ceiling (kept sorted ascending).
     pub fn with_ceiling(mut self, name: impl Into<String>, gflops: f64) -> Roofline {
-        self.ceilings.push(Ceiling { name: name.into(), gflops });
-        self.ceilings
-            .sort_by(|a, b| a.gflops.total_cmp(&b.gflops));
+        self.ceilings.push(Ceiling {
+            name: name.into(),
+            gflops,
+        });
+        self.ceilings.sort_by(|a, b| a.gflops.total_cmp(&b.gflops));
         self
     }
 
@@ -135,9 +141,15 @@ mod tests {
     #[test]
     fn efficiency_of_points() {
         let r = spr_like();
-        let perfect = KernelPoint { ai: 10.0, gflops: 160.0 };
+        let perfect = KernelPoint {
+            ai: 10.0,
+            gflops: 160.0,
+        };
         assert!((r.efficiency(perfect) - 1.0).abs() < 1e-9);
-        let half = KernelPoint { ai: 10.0, gflops: 80.0 };
+        let half = KernelPoint {
+            ai: 10.0,
+            gflops: 80.0,
+        };
         assert!((r.efficiency(half) - 0.5).abs() < 1e-9);
     }
 

@@ -17,12 +17,22 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Per-worker ("shard") scheduling counters from one parallel run — the
+/// observability `mudock-serve` uses to verify concurrent jobs share the
+/// node fairly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Tasks this worker executed.
+    pub executed: usize,
+    /// Of those, tasks stolen from a sibling's deque.
+    pub steals: usize,
+}
 
 /// Scheduling statistics from one parallel run (observability for tests
 /// and the bench harness).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Tasks executed in total.
     pub executed: usize,
@@ -30,14 +40,41 @@ pub struct PoolStats {
     pub steals: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Per-worker breakdown (`shards.len() == threads`).
+    pub shards: Vec<ShardStats>,
 }
 
-/// Number of worker threads to use by default (the host's available
-/// parallelism).
+impl PoolStats {
+    /// Smallest / largest per-shard task count — a quick imbalance probe.
+    pub fn shard_spread(&self) -> (usize, usize) {
+        let max = self.shards.iter().map(|s| s.executed).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.executed).min().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Merge counters from another run (shards append).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.executed += other.executed;
+        self.steals += other.steals;
+        self.threads = self.threads.max(other.threads);
+        self.shards.extend_from_slice(&other.shards);
+    }
+}
+
+/// Number of worker threads to use by default: the `MUDOCK_THREADS`
+/// environment variable if set (for reproducible CI and benchmark runs),
+/// capped at the host's available parallelism; otherwise all of it.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match std::env::var("MUDOCK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(available),
+        _ => available,
+    }
 }
 
 /// Apply `f` to every item of `items` on `threads` workers with work
@@ -56,17 +93,36 @@ where
     let n = items.len();
 
     if n == 0 {
-        return (Vec::new(), PoolStats { executed: 0, steals: 0, threads });
+        return (
+            Vec::new(),
+            PoolStats {
+                executed: 0,
+                steals: 0,
+                threads,
+                shards: vec![ShardStats::default(); threads],
+            },
+        );
     }
 
     // Single-threaded fast path keeps tests deterministic and cheap.
     if threads == 1 || n == 1 {
         let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-        return (results, PoolStats { executed: n, steals: 0, threads: 1 });
+        return (
+            results,
+            PoolStats {
+                executed: n,
+                steals: 0,
+                threads: 1,
+                shards: vec![ShardStats {
+                    executed: n,
+                    steals: 0,
+                }],
+            },
+        );
     }
 
-    let steals = AtomicUsize::new(0);
-    let executed = AtomicUsize::new(0);
+    let shard_executed: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let shard_steals: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
 
     let injector: Injector<usize> = Injector::new();
     for i in 0..n {
@@ -84,8 +140,8 @@ where
         for (wid, local) in workers.into_iter().enumerate() {
             let injector = &injector;
             let stealers = &stealers;
-            let steals = &steals;
-            let executed = &executed;
+            let steals = &shard_steals[wid];
+            let executed = &shard_executed[wid];
             let f = &f;
             let tx = tx.clone();
             scope.spawn(move || loop {
@@ -112,10 +168,19 @@ where
         .into_iter()
         .map(|s| s.expect("every task produced a result"))
         .collect();
+    let shards: Vec<ShardStats> = shard_executed
+        .iter()
+        .zip(&shard_steals)
+        .map(|(e, s)| ShardStats {
+            executed: e.load(Ordering::Relaxed),
+            steals: s.load(Ordering::Relaxed),
+        })
+        .collect();
     let stats = PoolStats {
-        executed: executed.load(Ordering::Relaxed),
-        steals: steals.load(Ordering::Relaxed),
+        executed: shards.iter().map(|s| s.executed).sum(),
+        steals: shards.iter().map(|s| s.steals).sum(),
         threads,
+        shards,
     };
     (results, stats)
 }
@@ -228,9 +293,81 @@ mod tests {
         assert_eq!(out, vec![2, 3, 4]);
     }
 
+    /// Serializes every test that touches `MUDOCK_THREADS`: the test
+    /// harness runs tests on multiple threads, and concurrent
+    /// setenv/getenv is a data race.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn default_threads_positive() {
+        let _env = ENV_LOCK.lock().unwrap();
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_honors_env_override() {
+        // Owns the process-wide env while it runs; restore afterwards.
+        let _env = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("MUDOCK_THREADS").ok();
+        std::env::set_var("MUDOCK_THREADS", "1");
+        assert_eq!(default_threads(), 1);
+        std::env::set_var("MUDOCK_THREADS", "1000000");
+        let capped = default_threads();
+        assert!(
+            capped
+                <= std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+        );
+        std::env::set_var("MUDOCK_THREADS", "not-a-number");
+        assert!(default_threads() >= 1);
+        std::env::set_var("MUDOCK_THREADS", "0");
+        assert!(default_threads() >= 1);
+        match saved {
+            Some(v) => std::env::set_var("MUDOCK_THREADS", v),
+            None => std::env::remove_var("MUDOCK_THREADS"),
+        }
+    }
+
+    #[test]
+    fn ordering_preserved_under_forced_stealing() {
+        // One pathologically slow task at index 0 pins a worker; the
+        // remaining fast tasks get redistributed by stealing. Results
+        // must still land in input order, and the shard breakdown must
+        // account for every task exactly once.
+        let items: Vec<u32> = (0..500).collect();
+        let (out, stats) = parallel_map_stats(&items, 4, |i, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            (i, x.wrapping_mul(3))
+        });
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx, i, "slot {i} holds task {idx}");
+            assert_eq!(v, (i as u32).wrapping_mul(3));
+        }
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.shards.iter().map(|s| s.executed).sum::<usize>(), 500);
+        assert_eq!(stats.executed, 500);
+        assert_eq!(
+            stats.steals,
+            stats.shards.iter().map(|s| s.steals).sum::<usize>()
+        );
+        // The slow worker cannot have run the whole batch.
+        let (_, max) = stats.shard_spread();
+        assert!(max < 500, "one shard executed everything: no parallelism");
+    }
+
+    #[test]
+    fn shard_stats_cover_fast_paths() {
+        let (_, empty) = parallel_map_stats(&[] as &[u8], 3, |_, &x| x);
+        assert_eq!(empty.shards.len(), 3);
+        assert_eq!(empty.executed, 0);
+
+        let (_, single) = parallel_map_stats(&[7u8], 3, |_, &x| x);
+        assert_eq!(single.shards.len(), 1);
+        assert_eq!(single.shards[0].executed, 1);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! LRU cache of built grid sets, keyed by receptor + lattice content.
+//!
+//! AutoGrid-style precomputation is the dominant *fixed* cost of a
+//! screening job; campaigns hammer the same few targets with millions of
+//! ligands. The cache keys built [`GridSet`]s by
+//! [`mudock_grids::grid_cache_key`] — a content fingerprint, so two
+//! `Molecule` values with identical atoms share an entry regardless of
+//! provenance.
+//!
+//! Each entry is an [`OnceLock`] slot: the first job to miss installs the
+//! slot and builds into it; concurrent jobs for the same key find the
+//! slot (a *hit* — the build runs once either way) and block inside
+//! `get_or_init` until it is ready. Build wall time and bytes produced
+//! are recorded into a [`PerfMonitor`] region (`"serve::grid_build"`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use mudock_grids::{grid_cache_key, GridBuilder, GridDims, GridSet, SimdLevel};
+use mudock_mol::Molecule;
+use mudock_perf::PerfMonitor;
+use parking_lot::Mutex;
+
+/// Perf region name under which grid builds are recorded.
+pub const GRID_BUILD_REGION: &str = "serve::grid_build";
+
+/// Cache counters (monotonic over the cache's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry (including builds still in flight).
+    pub hits: u64,
+    /// Lookups that had to start a build.
+    pub misses: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    key: u64,
+    slot: Arc<OnceLock<Arc<GridSet>>>,
+    /// Logical timestamp of the last lookup — the LRU ordering.
+    last_use: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// Thread-safe LRU cache of built grid sets.
+pub struct GridCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl GridCache {
+    /// Cache holding up to `capacity` grid sets. Capacity 0 disables
+    /// caching (every lookup builds and counts as a miss).
+    pub fn new(capacity: usize) -> GridCache {
+        GridCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The grid set for `receptor` on `dims`, building it (all maps, at
+    /// `level`) on a miss. Returns the set and whether it was a hit.
+    pub fn get_or_build(
+        &self,
+        receptor: &Molecule,
+        dims: GridDims,
+        level: SimdLevel,
+        monitor: Option<&PerfMonitor>,
+    ) -> (Arc<GridSet>, bool) {
+        let key = grid_cache_key(receptor, &dims);
+
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (Self::build(receptor, dims, level, monitor), false);
+        }
+
+        let (slot, hit) = {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.iter_mut().find(|e| e.key == key) {
+                Some(e) => {
+                    e.last_use = tick;
+                    (Arc::clone(&e.slot), true)
+                }
+                None => {
+                    if inner.entries.len() >= self.capacity {
+                        let lru = inner
+                            .entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_use)
+                            .map(|(i, _)| i)
+                            .expect("capacity > 0 and entries is non-empty");
+                        inner.entries.swap_remove(lru);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let slot = Arc::new(OnceLock::new());
+                    inner.entries.push(Entry {
+                        key,
+                        slot: Arc::clone(&slot),
+                        last_use: tick,
+                    });
+                    (slot, false)
+                }
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // Build outside the cache lock: only same-key lookups wait (in
+        // `get_or_init`), never the whole cache.
+        let grids = Arc::clone(slot.get_or_init(|| Self::build(receptor, dims, level, monitor)));
+        (grids, hit)
+    }
+
+    fn build(
+        receptor: &Molecule,
+        dims: GridDims,
+        level: SimdLevel,
+        monitor: Option<&PerfMonitor>,
+    ) -> Arc<GridSet> {
+        let t0 = std::time::Instant::now();
+        let grids = GridBuilder::new(receptor, dims).build_simd(level);
+        if let Some(m) = monitor {
+            let bytes = (grids.data.len() * std::mem::size_of::<f32>()) as u64;
+            m.record(GRID_BUILD_REGION, t0.elapsed(), 0, 0, bytes);
+        }
+        Arc::new(grids)
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().entries.len(),
+        }
+    }
+
+    /// Drop every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudock_mol::Vec3;
+    use mudock_molio::synthetic_receptor;
+
+    fn dims() -> GridDims {
+        GridDims::centered(Vec3::ZERO, 4.0, 1.0)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_build() {
+        let cache = GridCache::new(2);
+        let rec = synthetic_receptor(3, 40, 5.0);
+        let (a, hit_a) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        let (b, hit_b) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_identity_beats_provenance() {
+        let cache = GridCache::new(2);
+        let rec = synthetic_receptor(3, 40, 5.0);
+        let mut renamed = rec.clone();
+        renamed.name = "other".into();
+        let (_, first) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        let (_, second) = cache.get_or_build(&renamed, dims(), SimdLevel::detect(), None);
+        assert!(!first);
+        assert!(second, "identical content must share the cache entry");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = GridCache::new(2);
+        let r1 = synthetic_receptor(1, 30, 5.0);
+        let r2 = synthetic_receptor(2, 30, 5.0);
+        let r3 = synthetic_receptor(3, 30, 5.0);
+        cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        cache.get_or_build(&r2, dims(), SimdLevel::detect(), None);
+        cache.get_or_build(&r1, dims(), SimdLevel::detect(), None); // r1 hot, r2 cold
+        cache.get_or_build(&r3, dims(), SimdLevel::detect(), None); // evicts r2
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, r1_hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert!(r1_hit, "the hot entry must survive the eviction");
+        let (_, r2_hit) = cache.get_or_build(&r2, dims(), SimdLevel::detect(), None);
+        assert!(!r2_hit, "the cold entry must have been evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = GridCache::new(0);
+        let rec = synthetic_receptor(5, 30, 5.0);
+        let (_, h1) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        let (_, h2) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        assert!(!h1 && !h2);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn build_time_lands_in_the_perf_region() {
+        let cache = GridCache::new(1);
+        let monitor = PerfMonitor::new();
+        let rec = synthetic_receptor(6, 30, 5.0);
+        cache.get_or_build(&rec, dims(), SimdLevel::detect(), Some(&monitor));
+        cache.get_or_build(&rec, dims(), SimdLevel::detect(), Some(&monitor));
+        let region = monitor.region(GRID_BUILD_REGION).expect("region recorded");
+        assert_eq!(region.invocations, 1, "the hit must not rebuild");
+        assert!(region.bytes_written > 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_build_once() {
+        let cache = Arc::new(GridCache::new(2));
+        let rec = Arc::new(synthetic_receptor(9, 40, 5.0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_build(&rec, dims(), SimdLevel::detect(), None)
+            }));
+        }
+        let results: Vec<(Arc<GridSet>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let misses = results.iter().filter(|(_, hit)| !hit).count();
+        assert_eq!(misses, 1, "exactly one thread installs the entry");
+        for (g, _) in &results {
+            assert!(Arc::ptr_eq(g, &results[0].0));
+        }
+    }
+}

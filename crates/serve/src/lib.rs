@@ -1,0 +1,78 @@
+//! # mudock-serve — the virtual-screening service layer
+//!
+//! The kernels below this crate make one docking *fast*; this crate makes
+//! a node full of them a *service*. It turns the one-shot
+//! [`mudock_core::screen`] call into a long-running screening server in
+//! the shape of the paper's full-node scenario (Fig. 2b — one ligand per
+//! task, parallelism across inputs), organized as four cooperating
+//! pieces:
+//!
+//! * **job queue** ([`queue`]) — bounded submission of [`JobSpec`]s with
+//!   priorities, cancellation, and backpressure: when the queue is full,
+//!   `try_submit` refuses and `submit` blocks, so a burst of requests
+//!   degrades to queuing delay instead of memory growth;
+//! * **grid cache** ([`cache`]) — built [`GridSet`](mudock_grids::GridSet)s
+//!   are LRU-cached by receptor/geometry content fingerprints
+//!   ([`mudock_grids::hash`]), so repeat jobs against a hot target skip
+//!   the dominant fixed cost; hit/miss counters and build timings are
+//!   surfaced through [`mudock_perf::PerfMonitor`];
+//! * **streaming ingest** ([`ingest`]) — ligands are pulled lazily in
+//!   chunks (from synthetic generators or multi-model PDBQT via
+//!   [`mudock_molio::stream`]) and fanned out over `mudock-pool`'s
+//!   work-stealing workers, with the thread share divided across
+//!   concurrently running jobs;
+//! * **result sink** ([`sink`]) — per-ligand results stream to JSONL as
+//!   each chunk completes, the global ranking folds incrementally into a
+//!   bounded [`TopK`](mudock_core::TopK) (no collect-then-sort), and a
+//!   checkpoint file records completed chunks so a killed job resumes
+//!   where it stopped with an identical final ranking.
+//!
+//! [`ScreenService`] wires them together. The 30-second version:
+//!
+//! ```
+//! use mudock_serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
+//! use mudock_core::{DockParams, GaParams};
+//! use std::sync::Arc;
+//!
+//! let service = ScreenService::start(ServeConfig {
+//!     total_threads: 2,
+//!     ..ServeConfig::default()
+//! });
+//! let receptor = Arc::new(mudock_molio::synthetic_receptor(7, 80, 8.0));
+//! let params = DockParams {
+//!     ga: GaParams { population: 8, generations: 4, ..Default::default() },
+//!     search_radius: Some(3.0),
+//!     ..Default::default()
+//! };
+//! let handle = service
+//!     .submit(JobSpec {
+//!         name: "demo".into(),
+//!         receptor,
+//!         ligands: LigandSource::synth(42, 6),
+//!         params,
+//!         top_k: 3,
+//!         ..JobSpec::default()
+//!     })
+//!     .unwrap();
+//! let outcome = handle.wait();
+//! assert_eq!(outcome.ligands_done, 6);
+//! assert_eq!(outcome.top.len(), 3);
+//! service.shutdown();
+//! ```
+
+pub mod cache;
+pub mod ingest;
+pub mod job;
+pub mod queue;
+pub mod server;
+pub mod sink;
+
+pub use cache::{CacheStats, GridCache};
+pub use ingest::LigandSource;
+pub use job::{
+    ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, Priority, ProgressFn,
+    RankedLigand,
+};
+pub use queue::SubmitError;
+pub use server::{default_dims, ScreenService, ServeConfig, ServiceStats};
+pub use sink::{Checkpoint, JsonlSink};

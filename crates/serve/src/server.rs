@@ -1,0 +1,441 @@
+//! The service itself: executor threads pulling jobs off the queue.
+//!
+//! [`ScreenService::start`] spawns `job_slots` executor threads. Each
+//! pops the best queued job and drives it chunk by chunk: grids from the
+//! [`GridCache`], chunks fanned out over `mudock-pool` workers, results
+//! into the incremental top-k plus the JSONL/checkpoint sinks. The
+//! node's `total_threads` are divided evenly among the jobs running at
+//! that moment (re-evaluated at every chunk boundary), so a long
+//! campaign cannot starve a short one, and a finishing job's share flows
+//! back to the survivors.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mudock_core::{dock_ligand, DockingEngine, ScreenResult, TopK};
+use mudock_grids::{grid_cache_key, Fnv64, GridDims, SimdLevel};
+use mudock_mol::Molecule;
+use mudock_molio::ChunkedExt;
+use mudock_perf::PerfMonitor;
+
+use crate::cache::{CacheStats, GridCache};
+use crate::job::{
+    ChunkProgress, JobHandle, JobOutcome, JobShared, JobSpec, JobState, RankedLigand,
+};
+use crate::queue::{JobQueue, SubmitError};
+use crate::sink::{Checkpoint, JsonlSink};
+
+/// Service sizing. `Default` fits a CI host; production tunes all four.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Docking worker threads shared by all concurrently running jobs.
+    pub total_threads: usize,
+    /// Jobs executed concurrently (each gets `total_threads / active`).
+    pub job_slots: usize,
+    /// Bounded queue depth; beyond it, `submit` blocks and `try_submit`
+    /// refuses.
+    pub queue_capacity: usize,
+    /// Grid sets kept resident (LRU beyond this).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            total_threads: mudock_pool::default_threads(),
+            job_slots: 2,
+            queue_capacity: 64,
+            cache_capacity: 4,
+        }
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_cancelled: u64,
+    pub jobs_failed: u64,
+    /// Ligands docked live (checkpoint replays excluded).
+    pub ligands_docked: u64,
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub active: usize,
+    pub cache: CacheStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    ligands: AtomicU64,
+}
+
+/// Shared executor context.
+struct ExecCtx {
+    cache: Arc<GridCache>,
+    monitor: Arc<PerfMonitor>,
+    counters: Arc<Counters>,
+    active: Arc<AtomicUsize>,
+    total_threads: usize,
+}
+
+/// Default lattice when a [`JobSpec`] does not pin one: centered on the
+/// receptor, covering its span with margin, at screening resolution.
+pub fn default_dims(receptor: &Molecule) -> GridDims {
+    let extent = (receptor.radius() + 3.0).clamp(8.0, 14.0);
+    GridDims::centered(receptor.centroid(), extent, 0.55)
+}
+
+/// A long-running virtual-screening service.
+pub struct ScreenService {
+    queue: Arc<JobQueue>,
+    cache: Arc<GridCache>,
+    monitor: Arc<PerfMonitor>,
+    counters: Arc<Counters>,
+    active: Arc<AtomicUsize>,
+    next_id: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ScreenService {
+    /// Spawn the executors and return the running service.
+    pub fn start(cfg: ServeConfig) -> ScreenService {
+        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let cache = Arc::new(GridCache::new(cfg.cache_capacity));
+        let monitor = Arc::new(PerfMonitor::new());
+        let counters = Arc::new(Counters::default());
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for _ in 0..cfg.job_slots.max(1) {
+            let queue = Arc::clone(&queue);
+            let ctx = ExecCtx {
+                cache: Arc::clone(&cache),
+                monitor: Arc::clone(&monitor),
+                counters: Arc::clone(&counters),
+                active: Arc::clone(&active),
+                total_threads: cfg.total_threads.max(1),
+            };
+            workers.push(std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    ctx.active.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&job.shared);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| run_job(job.spec, &job.shared, &ctx)));
+                    if outcome.is_err() {
+                        // A panicking job must not wedge its waiters or
+                        // kill the executor slot.
+                        ctx.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        shared.finish(JobOutcome {
+                            id: shared.id,
+                            name: String::new(),
+                            state: JobState::Failed,
+                            ligands_done: 0,
+                            chunks_done: 0,
+                            replayed_chunks: 0,
+                            grid_cache_hit: false,
+                            top: Vec::new(),
+                            elapsed: Default::default(),
+                            error: Some("executor panicked while running the job".into()),
+                        });
+                    }
+                    ctx.active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        ScreenService {
+            queue,
+            cache,
+            monitor,
+            counters,
+            active,
+            next_id: AtomicU64::new(1),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn register(&self, spec: &JobSpec) -> Arc<JobShared> {
+        let _ = spec;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        JobShared::new(id)
+    }
+
+    /// Submit a job, blocking while the queue is full (backpressure).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let shared = self.register(&spec);
+        self.queue.submit(spec, Arc::clone(&shared))?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(JobHandle { shared })
+    }
+
+    /// Submit without blocking; `Err(Full)` when the queue is at
+    /// capacity.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let shared = self.register(&spec);
+        self.queue.try_submit(spec, Arc::clone(&shared))?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(JobHandle { shared })
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            jobs_submitted: self.counters.submitted.load(Ordering::Relaxed),
+            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            jobs_failed: self.counters.failed.load(Ordering::Relaxed),
+            ligands_docked: self.counters.ligands.load(Ordering::Relaxed),
+            queued: self.queue.len(),
+            active: self.active.load(Ordering::SeqCst),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Perf regions (grid build timings, …) accumulated by the service.
+    pub fn monitor(&self) -> &PerfMonitor {
+        &self.monitor
+    }
+
+    /// Maximum number of jobs the queue admits before backpressure.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Stop accepting work, drain the queue, and join the executors.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ScreenService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Fingerprint of everything a checkpoint must agree on to be replayable:
+/// grid content, base seed, chunking, and ranking size.
+fn job_fingerprint(spec: &JobSpec, dims: GridDims) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(grid_cache_key(&spec.receptor, &dims))
+        .write_u64(spec.params.seed)
+        .write_u64(spec.chunk_size as u64)
+        .write_u64(spec.top_k as u64);
+    h.finish()
+}
+
+fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
+    let t0 = Instant::now();
+    let finish = |state: JobState,
+                  error: Option<String>,
+                  top: Vec<RankedLigand>,
+                  done: (usize, usize, usize),
+                  cache_hit: bool| {
+        match state {
+            JobState::Completed => ctx.counters.completed.fetch_add(1, Ordering::Relaxed),
+            JobState::Cancelled => ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed),
+            _ => ctx.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        shared.finish(JobOutcome {
+            id: shared.id,
+            name: spec.name.clone(),
+            state,
+            ligands_done: done.0,
+            chunks_done: done.1,
+            replayed_chunks: done.2,
+            grid_cache_hit: cache_hit,
+            top,
+            elapsed: t0.elapsed(),
+            error,
+        });
+    };
+
+    if shared.cancel.load(Ordering::SeqCst) {
+        finish(JobState::Cancelled, None, Vec::new(), (0, 0, 0), false);
+        return;
+    }
+    shared.set_running();
+
+    let dims = spec
+        .grid_dims
+        .unwrap_or_else(|| default_dims(&spec.receptor));
+    let (grids, cache_hit) = ctx.cache.get_or_build(
+        &spec.receptor,
+        dims,
+        SimdLevel::detect(),
+        Some(&ctx.monitor),
+    );
+    let engine = match DockingEngine::new(&grids) {
+        Ok(e) => e,
+        Err(e) => {
+            finish(
+                JobState::Failed,
+                Some(e.to_string()),
+                Vec::new(),
+                (0, 0, 0),
+                cache_hit,
+            );
+            return;
+        }
+    };
+
+    let mut ckpt = match &spec.checkpoint {
+        Some(path) => match Checkpoint::open(path, job_fingerprint(&spec, dims)) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                let msg = format!("checkpoint {}: {e}", path.display());
+                finish(
+                    JobState::Failed,
+                    Some(msg),
+                    Vec::new(),
+                    (0, 0, 0),
+                    cache_hit,
+                );
+                return;
+            }
+        },
+        None => None,
+    };
+    let resuming = ckpt.as_ref().is_some_and(|c| !c.completed().is_empty());
+
+    let mut sink = match &spec.jsonl {
+        // A resumed job appends: replayed chunks' lines are already
+        // there. Lines from a chunk whose checkpoint block was torn by
+        // a crash are pruned first — that chunk re-docks and rewrites
+        // them.
+        Some(path) => match (|| {
+            if resuming {
+                let ck = ckpt.as_ref().expect("resuming implies a checkpoint");
+                crate::sink::prune_jsonl(path, |c| ck.completed().contains_key(&c))?;
+            }
+            JsonlSink::open(path, resuming)
+        })() {
+            Ok(s) => Some(s),
+            Err(e) => {
+                let msg = format!("jsonl {}: {e}", path.display());
+                finish(
+                    JobState::Failed,
+                    Some(msg),
+                    Vec::new(),
+                    (0, 0, 0),
+                    cache_hit,
+                );
+                return;
+            }
+        },
+        None => None,
+    };
+
+    let stream = match spec.ligands.stream() {
+        Ok(s) => s,
+        Err(e) => {
+            finish(JobState::Failed, Some(e), Vec::new(), (0, 0, 0), cache_hit);
+            return;
+        }
+    };
+
+    let chunk_size = spec.chunk_size.max(1);
+    let mut top: TopK<(usize, String)> = TopK::new(spec.top_k);
+    let (mut ligands_done, mut chunks_done, mut replayed_chunks) = (0usize, 0usize, 0usize);
+    let mut state = JobState::Completed;
+    let mut error = None;
+
+    for (ci, chunk) in stream.chunked(chunk_size).enumerate() {
+        if shared.cancel.load(Ordering::SeqCst) {
+            state = JobState::Cancelled;
+            break;
+        }
+        let offset = ci * chunk_size;
+        let replay = ckpt.as_ref().and_then(|c| c.completed().get(&ci).cloned());
+        let replayed = replay.is_some();
+        if let Some(rec) = replay {
+            // Entries are stored in global-index order, so replay
+            // reproduces the live path's insertion order exactly.
+            for e in &rec.top {
+                top.push(e.score, (e.index, e.name.clone()));
+            }
+            ligands_done += rec.ligands;
+            replayed_chunks += 1;
+        } else {
+            // This job's fair share of the node, right now.
+            let threads = (ctx.total_threads / ctx.active.load(Ordering::SeqCst).max(1)).max(1);
+            let results: Vec<ScreenResult> =
+                mudock_pool::parallel_map(&chunk, threads, |i, lig| {
+                    dock_ligand(&engine, lig, &spec.params, offset + i)
+                });
+
+            let mut chunk_top: TopK<(usize, String)> = TopK::new(spec.top_k);
+            for (i, r) in results.iter().enumerate() {
+                if let Some(score) = r.best_score {
+                    top.push(score, (offset + i, r.name.clone()));
+                    chunk_top.push(score, (offset + i, r.name.clone()));
+                }
+            }
+
+            let io = || -> std::io::Result<()> {
+                if let Some(sink) = &mut sink {
+                    for (i, r) in results.iter().enumerate() {
+                        sink.write_result(&spec.name, ci, offset + i, r)?;
+                    }
+                    sink.flush()?;
+                }
+                if let Some(ck) = &mut ckpt {
+                    let mut entries: Vec<RankedLigand> = chunk_top
+                        .into_sorted()
+                        .into_iter()
+                        .map(|(score, (index, name))| RankedLigand { index, name, score })
+                        .collect();
+                    entries.sort_unstable_by_key(|e| e.index);
+                    ck.record(ci, chunk.len(), &entries)?;
+                }
+                Ok(())
+            };
+            if let Err(e) = io() {
+                state = JobState::Failed;
+                error = Some(format!("result sink: {e}"));
+                break;
+            }
+            ctx.counters
+                .ligands
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            ligands_done += chunk.len();
+        }
+        chunks_done += 1;
+        shared.ligands_done.store(ligands_done, Ordering::SeqCst);
+        shared.chunks_done.store(chunks_done, Ordering::SeqCst);
+        if let Some(cb) = &spec.progress {
+            cb(&ChunkProgress {
+                job: shared.id,
+                chunk: ci,
+                chunks_done,
+                ligands_done,
+                replayed,
+                shared,
+            });
+        }
+    }
+
+    let ranking: Vec<RankedLigand> = top
+        .into_sorted()
+        .into_iter()
+        .map(|(score, (index, name))| RankedLigand { index, name, score })
+        .collect();
+    finish(
+        state,
+        error,
+        ranking,
+        (ligands_done, chunks_done, replayed_chunks),
+        cache_hit,
+    );
+}

@@ -1,0 +1,321 @@
+//! End-to-end service tests: concurrent jobs sharing a grid cache,
+//! incremental JSONL streaming, checkpoint resume, and queue
+//! backpressure — each ranking checked against a sequential
+//! `mudock_core::screen` reference run.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mudock_core::{screen, DockParams, GaParams};
+use mudock_grids::{GridBuilder, GridDims};
+use mudock_mol::{Molecule, Vec3};
+use mudock_molio::{mediate_like_set, synthetic_receptor};
+use mudock_serve::{
+    JobSpec, JobState, LigandSource, Priority, ScreenService, ServeConfig, SubmitError,
+};
+use mudock_simd::SimdLevel;
+
+const SEED: u64 = 42;
+const N_LIGANDS: usize = 24;
+const CHUNK: usize = 6;
+const TOP_K: usize = 5;
+
+fn receptor() -> Arc<Molecule> {
+    Arc::new(synthetic_receptor(7, 120, 8.0))
+}
+
+fn dims() -> GridDims {
+    GridDims::centered(Vec3::ZERO, 10.0, 0.7)
+}
+
+fn params() -> DockParams {
+    DockParams {
+        ga: GaParams {
+            population: 10,
+            generations: 5,
+            ..Default::default()
+        },
+        seed: SEED,
+        search_radius: Some(3.5),
+        ..Default::default()
+    }
+}
+
+fn spec(name: &str) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        receptor: receptor(),
+        ligands: LigandSource::synth(SEED, N_LIGANDS),
+        params: params(),
+        top_k: TOP_K,
+        chunk_size: CHUNK,
+        grid_dims: Some(dims()),
+        ..JobSpec::default()
+    }
+}
+
+/// `(index, name, score)` of the reference ranking: a one-shot
+/// sequential `core::screen` over the materialized batch.
+fn reference_top() -> Vec<(usize, String, f32)> {
+    let rec = receptor();
+    let grids = GridBuilder::new(&rec, dims()).build_simd(SimdLevel::detect());
+    let ligands = mediate_like_set(SEED, N_LIGANDS);
+    let summary = screen(&grids, &ligands, &params(), 1);
+    summary
+        .top_k(TOP_K)
+        .into_iter()
+        .map(|i| {
+            (
+                i,
+                summary.results[i].name.clone(),
+                summary.results[i].best_score.unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mudock-serve-test-{}-{name}", std::process::id()))
+}
+
+fn jsonl_lines(path: &PathBuf) -> usize {
+    std::fs::read_to_string(path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn concurrent_jobs_share_the_grid_cache_and_stream_results() {
+    let service = ScreenService::start(ServeConfig {
+        total_threads: 2,
+        job_slots: 2,
+        queue_capacity: 8,
+        cache_capacity: 2,
+    });
+
+    let jsonl_a = tmp("concurrent-a.jsonl");
+    let jsonl_b = tmp("concurrent-b.jsonl");
+    std::fs::remove_file(&jsonl_a).ok();
+    std::fs::remove_file(&jsonl_b).ok();
+
+    // Job A observes its own JSONL file at every chunk boundary: the
+    // sink flushes *before* the progress callback runs, so the counts
+    // are deterministic.
+    let observed: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let observer = {
+        let observed = Arc::clone(&observed);
+        let path = jsonl_a.clone();
+        Arc::new(move |p: &mudock_serve::ChunkProgress<'_>| {
+            observed
+                .lock()
+                .unwrap()
+                .push((p.chunks_done, jsonl_lines(&path)));
+        })
+    };
+
+    let mut spec_a = spec("job-a");
+    spec_a.jsonl = Some(jsonl_a.clone());
+    spec_a.progress = Some(observer);
+    let mut spec_b = spec("job-b");
+    spec_b.jsonl = Some(jsonl_b.clone());
+
+    let a = service.submit(spec_a).unwrap();
+    let b = service.submit(spec_b).unwrap();
+    let oa = a.wait();
+    let ob = b.wait();
+
+    assert_eq!(oa.state, JobState::Completed);
+    assert_eq!(ob.state, JobState::Completed);
+    assert_eq!(oa.ligands_done, N_LIGANDS);
+    assert_eq!(ob.ligands_done, N_LIGANDS);
+
+    // Same receptor + dims → one build, one hit, whichever job got there
+    // second (a build in flight still counts: it ran once).
+    assert!(
+        oa.grid_cache_hit ^ ob.grid_cache_hit,
+        "exactly one of the two jobs must hit the cache (a={}, b={})",
+        oa.grid_cache_hit,
+        ob.grid_cache_hit
+    );
+    let stats = service.stats();
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.entries, 1);
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.ligands_docked, 2 * N_LIGANDS as u64);
+
+    // JSONL streamed incrementally: after chunk c, exactly c×CHUNK lines
+    // were already on disk — the first three observations happen while
+    // the job is far from done.
+    let obs = observed.lock().unwrap().clone();
+    let expected: Vec<(usize, usize)> = (1..=N_LIGANDS / CHUNK).map(|c| (c, c * CHUNK)).collect();
+    assert_eq!(obs, expected, "per-chunk JSONL availability");
+
+    // Final files: one line per ligand, every index present.
+    for path in [&jsonl_a, &jsonl_b] {
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.lines().count(), N_LIGANDS);
+        for i in 0..N_LIGANDS {
+            assert!(
+                text.contains(&format!("\"index\":{i},")),
+                "index {i} missing from {}",
+                path.display()
+            );
+        }
+    }
+
+    // Both rankings must match the sequential reference exactly.
+    let reference = reference_top();
+    for outcome in [&oa, &ob] {
+        assert_eq!(outcome.top.len(), TOP_K);
+        for (got, want) in outcome.top.iter().zip(&reference) {
+            assert_eq!((got.index, &got.name, got.score), (want.0, &want.1, want.2));
+        }
+    }
+
+    service.shutdown();
+    std::fs::remove_file(&jsonl_a).ok();
+    std::fs::remove_file(&jsonl_b).ok();
+}
+
+#[test]
+fn cancelled_job_resumes_from_its_checkpoint() {
+    let service = ScreenService::start(ServeConfig {
+        total_threads: 2,
+        job_slots: 1,
+        queue_capacity: 4,
+        cache_capacity: 2,
+    });
+    let jsonl = tmp("resume.jsonl");
+    let ckpt = tmp("resume.ckpt");
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&ckpt).ok();
+
+    // Kill the job from its own progress callback after the second
+    // chunk: deterministic, and the chunk just completed is already
+    // flushed to both sinks.
+    let mut first = spec("resumable");
+    first.jsonl = Some(jsonl.clone());
+    first.checkpoint = Some(ckpt.clone());
+    first.progress = Some(Arc::new(|p: &mudock_serve::ChunkProgress<'_>| {
+        if p.chunks_done == 2 {
+            p.cancel();
+        }
+    }));
+
+    let handle = service.submit(first).unwrap();
+    let killed = handle.wait();
+    assert_eq!(killed.state, JobState::Cancelled);
+    assert_eq!(killed.chunks_done, 2);
+    assert_eq!(killed.ligands_done, 2 * CHUNK);
+    assert_eq!(killed.replayed_chunks, 0);
+    assert_eq!(jsonl_lines(&jsonl), 2 * CHUNK);
+
+    // Resubmit the same job: the two completed chunks replay from the
+    // checkpoint, the rest dock live, and the final ranking is
+    // identical to an uninterrupted sequential run.
+    let mut second = spec("resumable");
+    second.jsonl = Some(jsonl.clone());
+    second.checkpoint = Some(ckpt.clone());
+    let resumed = service.submit(second).unwrap().wait();
+
+    assert_eq!(resumed.state, JobState::Completed);
+    assert_eq!(resumed.replayed_chunks, 2);
+    assert_eq!(resumed.chunks_done, N_LIGANDS / CHUNK);
+    assert_eq!(resumed.ligands_done, N_LIGANDS);
+    assert!(
+        resumed.grid_cache_hit,
+        "the receptor grid must still be cached"
+    );
+    assert_eq!(
+        jsonl_lines(&jsonl),
+        N_LIGANDS,
+        "resume appends, never duplicates"
+    );
+
+    let reference = reference_top();
+    assert_eq!(resumed.top.len(), TOP_K);
+    for (got, want) in resumed.top.iter().zip(&reference) {
+        assert_eq!((got.index, &got.name, got.score), (want.0, &want.1, want.2));
+    }
+
+    // Across both runs every ligand was docked live exactly once: the
+    // first run's 12 plus the resume's remaining 12.
+    assert_eq!(service.stats().ligands_docked, N_LIGANDS as u64);
+
+    service.shutdown();
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn queue_applies_backpressure_and_priority_order() {
+    let service = ScreenService::start(ServeConfig {
+        total_threads: 1,
+        job_slots: 1,
+        queue_capacity: 2,
+        cache_capacity: 2,
+    });
+
+    let completion_order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let record = |name: &str| {
+        let order = Arc::clone(&completion_order);
+        let name = name.to_string();
+        Arc::new(move |_: &mudock_serve::ChunkProgress<'_>| {
+            order.lock().unwrap().push(name.clone());
+        })
+    };
+
+    // Occupy the single executor: the blocker parks in its progress
+    // callback until released, holding the job slot.
+    let release = Arc::new(AtomicBool::new(false));
+    let gate = {
+        let release = Arc::clone(&release);
+        let order = Arc::clone(&completion_order);
+        Arc::new(move |_: &mudock_serve::ChunkProgress<'_>| {
+            order.lock().unwrap().push("blocker".into());
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    let small = |name: &str| JobSpec {
+        ligands: LigandSource::synth(SEED, 2),
+        chunk_size: 4,
+        ..spec(name)
+    };
+    let mut blocker = small("blocker");
+    blocker.progress = Some(gate);
+    let blocker_handle = service.submit(blocker).unwrap();
+    while blocker_handle.chunks_done() < 1 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Executor busy, queue empty: two submissions fit, the third is
+    // refused — backpressure instead of unbounded growth.
+    let mut low = small("low");
+    low.priority = Priority::Low;
+    low.progress = Some(record("low"));
+    let mut high = small("high");
+    high.priority = Priority::High;
+    high.progress = Some(record("high"));
+    let low_handle = service.submit(low).unwrap();
+    let high_handle = service.submit(high).unwrap();
+    let overflow = service.try_submit(small("overflow"));
+    assert_eq!(overflow.unwrap_err(), SubmitError::Full);
+
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(blocker_handle.wait().state, JobState::Completed);
+    assert_eq!(high_handle.wait().state, JobState::Completed);
+    assert_eq!(low_handle.wait().state, JobState::Completed);
+
+    // The high-priority job must have run before the earlier-submitted
+    // low-priority one.
+    assert_eq!(
+        *completion_order.lock().unwrap(),
+        vec!["blocker", "high", "low"]
+    );
+
+    service.shutdown();
+}

@@ -22,7 +22,7 @@ pub const EXP_HI: f32 = 88.376_26;
 pub const EXP_LO: f32 = -87.336_54;
 
 const LOG2E: f32 = std::f32::consts::LOG2_E;
-const LN2_HI: f32 = 0.693_359_375;
+const LN2_HI: f32 = 0.693_359_4;
 const LN2_LO: f32 = -2.121_944_4e-4;
 
 /// Vectorized `e^x` (Cephes-style degree-5 polynomial after range
@@ -40,12 +40,12 @@ pub fn exp<S: Simd>(s: S, x: S::V) -> S::V {
     let r = s.neg_mul_add(n_f, s.splat(LN2_LO), r);
 
     // e^r = 1 + r + r^2 * P(r) on |r| <= ln2/2.
-    let mut p = s.splat(1.987_569_15e-4);
-    p = s.mul_add(p, r, s.splat(1.398_199_95e-3));
-    p = s.mul_add(p, r, s.splat(8.333_451_9e-3));
+    let mut p = s.splat(1.987_569_1e-4);
+    p = s.mul_add(p, r, s.splat(1.398_199_9e-3));
+    p = s.mul_add(p, r, s.splat(8.333_452e-3));
     p = s.mul_add(p, r, s.splat(4.166_579_6e-2));
-    p = s.mul_add(p, r, s.splat(1.666_666_55e-1));
-    p = s.mul_add(p, r, s.splat(5.000_000_1e-1));
+    p = s.mul_add(p, r, s.splat(1.666_666_6e-1));
+    p = s.mul_add(p, r, s.splat(5e-1));
     let r2 = s.mul(r, r);
     let y = s.add(s.mul_add(p, r2, r), s.splat(1.0));
 
@@ -90,7 +90,7 @@ pub fn log<S: Simd>(s: S, x: S::V) -> S::V {
     p = s.mul_add(p, m, s.splat(-1.666_805_7e-1));
     p = s.mul_add(p, m, s.splat(2.000_071_5e-1));
     p = s.mul_add(p, m, s.splat(-2.499_999_4e-1));
-    p = s.mul_add(p, m, s.splat(3.333_333_1e-1));
+    p = s.mul_add(p, m, s.splat(3.333_333e-1));
     let mut y = s.mul(s.mul(p, m), z);
 
     y = s.mul_add(e, s.splat(LN2_LO), y);

@@ -19,8 +19,7 @@ impl Avx2 {
     /// Returns a token iff the CPU supports both AVX2 and FMA.
     #[inline]
     pub fn try_new() -> Option<Self> {
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             Some(Avx2 { _priv: () })
         } else {

@@ -27,14 +27,23 @@ fn main() {
     types.dedup();
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.5);
     let level = SimdLevel::detect();
-    println!("building grid maps ({} points/map) with {level}…", dims.total());
-    let maps = GridBuilder::new(&receptor, dims).with_types(&types).build_simd(level);
+    println!(
+        "building grid maps ({} points/map) with {level}…",
+        dims.total()
+    );
+    let maps = GridBuilder::new(&receptor, dims)
+        .with_types(&types)
+        .build_simd(level);
 
     // 3. Dock: genetic algorithm over poses, explicit SIMD scoring.
     let engine = DockingEngine::new(&maps).expect("grid fits the engine");
     let prep = LigandPrep::new(ligand).expect("valid ligand");
     let params = DockParams {
-        ga: GaParams { population: 100, generations: 120, ..Default::default() },
+        ga: GaParams {
+            population: 100,
+            generations: 120,
+            ..Default::default()
+        },
         seed: 42,
         backend: Backend::Explicit(level),
         search_radius: Some(5.0),

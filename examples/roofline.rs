@@ -79,8 +79,7 @@ mod mudock_bench_shim {
     pub fn host_workload() -> Wl {
         use rand::{rngs::StdRng, SeedableRng};
         let (receptor, ligand) = mudock::molio::complex_1a30_like();
-        let mut types: Vec<mudock::ff::AtomType> =
-            ligand.atoms.iter().map(|a| a.ty).collect();
+        let mut types: Vec<mudock::ff::AtomType> = ligand.atoms.iter().map(|a| a.ty).collect();
         types.sort_unstable();
         types.dedup();
         let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.55);

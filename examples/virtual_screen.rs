@@ -21,15 +21,26 @@ fn main() {
 
     let receptor = mudock::molio::synthetic_receptor(0xcafe, 300, 9.0);
     let ligands = mudock::molio::mediate_like_set(0xf00d, n_ligands);
-    println!("screening {} ligands on {} threads…", ligands.len(), threads);
+    println!(
+        "screening {} ligands on {} threads…",
+        ligands.len(),
+        threads
+    );
 
     // Screening sets span many atom types: build the full map set once.
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
     let maps = GridBuilder::new(&receptor, dims).build_simd(SimdLevel::detect());
-    println!("grid maps: {:.1} MiB", maps.bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "grid maps: {:.1} MiB",
+        maps.bytes() as f64 / (1024.0 * 1024.0)
+    );
 
     let params = DockParams {
-        ga: GaParams { population: 50, generations: 60, ..Default::default() },
+        ga: GaParams {
+            population: 50,
+            generations: 60,
+            ..Default::default()
+        },
         seed: 7,
         backend: Backend::Explicit(SimdLevel::detect()),
         search_radius: Some(5.0),

@@ -1,0 +1,296 @@
+//! Offline stand-in for `criterion`: the benchmarking surface the
+//! workspace's `benches/` use, backed by a simple wall-clock sampler.
+//!
+//! Each benchmark warms up, then takes `sample_size` samples inside the
+//! configured measurement window and reports the median time per
+//! iteration plus derived throughput. No statistical regression analysis,
+//! no HTML reports — numbers print to stdout, which is what the paper
+//! harness consumes.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations move this many bytes.
+    Bytes(u64),
+}
+
+/// Two-part benchmark id (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Benchmark runner configuration + entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, &id.into_id(), None, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing throughput info.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &full, self.throughput, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; collects timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: also sizes the per-sample iteration count.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += b.iters;
+        // Grow geometrically so fast benchmarks don't spin on overhead.
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let per_sample = cfg.measurement_time.as_secs_f64() / cfg.sample_size as f64;
+    let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        b.iters = iters;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[samples.len() / 10];
+    let hi = samples[samples.len() - 1 - samples.len() / 10];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>10.1} Melem/s", n as f64 / median / 1e6),
+        Throughput::Bytes(n) => {
+            format!("  {:>10.2} GiB/s", n as f64 / median / (1u64 << 30) as f64)
+        }
+    });
+    println!(
+        "{name:<44} time: [{} {} {}]{}",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declare a group of benchmark functions plus its runner config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x)))
+        });
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+}

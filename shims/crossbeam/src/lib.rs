@@ -1,0 +1,211 @@
+//! Offline stand-in for `crossbeam`: the `deque` work-stealing API the
+//! pool crate uses (`Injector`, `Worker`, `Stealer`, `Steal`).
+//!
+//! The real crate is lock-free; this shim uses a `Mutex<VecDeque>` per
+//! deque, which is perfectly adequate for the coarse-grained workload the
+//! pool schedules (one docking run per task — milliseconds of work per
+//! lock acquisition). Semantics match crossbeam where the pool depends on
+//! them: LIFO local pops, FIFO steals, batched injector drains.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Lost a race; try again. (This shim's locking never races, but
+        /// the variant is kept so caller retry loops compile unchanged.)
+        Retry,
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Shared FIFO queue every worker can push to and drain from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Move a batch of tasks into `dest`'s deque and pop one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Take up to half of what remains (capped) as the batch, like
+            // crossbeam's heuristic, so siblings still find injector work.
+            let extra = (q.len() / 2).min(16);
+            if extra > 0 {
+                let mut dq = lock(&dest.deque);
+                for t in q.drain(..extra) {
+                    dq.push_back(t);
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A worker's own deque: LIFO for the owner, FIFO for stealers.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                deque: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            lock(&self.deque).push_back(task);
+        }
+
+        /// Owner-side pop (LIFO end).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.deque).pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            lock(&self.deque).is_empty()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
+        }
+    }
+
+    /// Handle other workers use to steal from a [`Worker`]'s deque.
+    #[derive(Clone, Debug)]
+    pub struct Stealer<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the FIFO end (opposite the owner's pops).
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.deque).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_lifo_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_batches_into_worker() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // A batch landed locally; draining worker + injector yields all.
+            let mut seen = vec![0];
+            while let Some(t) = w.pop() {
+                seen.push(t);
+            }
+            while let Steal::Success(t) = inj.steal_batch_and_pop(&w) {
+                seen.push(t);
+                while let Some(t) = w.pop() {
+                    seen.push(t);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn stealers_are_shareable_across_threads() {
+            let inj: Injector<usize> = Injector::new();
+            for i in 0..1000 {
+                inj.push(i);
+            }
+            let w0 = Worker::new_lifo();
+            let s0 = w0.stealer();
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let inj = &inj;
+                let total = &total;
+                scope.spawn(|| {
+                    let w = Worker::new_lifo();
+                    loop {
+                        let t = match w.pop() {
+                            Some(t) => Some(t),
+                            None => match inj.steal_batch_and_pop(&w) {
+                                Steal::Success(t) => Some(t),
+                                _ => match s0.steal() {
+                                    Steal::Success(t) => Some(t),
+                                    _ => None,
+                                },
+                            },
+                        };
+                        match t {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+                loop {
+                    let t = match w0.pop() {
+                        Some(t) => Some(t),
+                        None => match inj.steal_batch_and_pop(&w0) {
+                            Steal::Success(t) => Some(t),
+                            _ => None,
+                        },
+                    };
+                    match t {
+                        Some(_) => {
+                            total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                }
+            });
+            assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for `proptest`: randomized property testing with the
+//! strategy/`proptest!` surface this workspace uses, minus shrinking.
+//!
+//! Each generated counterexample is reported with the test name, case
+//! number, and the RNG seed of the failing case, so failures stay
+//! reproducible even without shrinking. Case counts come from
+//! `ProptestConfig { cases, .. }` or the `PROPTEST_CASES` env var.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration (subset of proptest's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-test base seed: FNV-1a of the test's name, so every
+/// property gets a distinct but stable input stream.
+pub fn base_seed(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// RNG for one case of one property.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base_seed(test_name) ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection`,
+/// `prop::sample`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Define property tests: each argument is drawn from its strategy for
+/// every case, and the body runs with `prop_assert!`-style early returns.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        $crate::base_seed(stringify!($name)),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Property-scoped assertion: fails the case (not the process) on false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($single:expr $(,)?) => { $single };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0f32..2.0, n in 3usize..7) {
+            prop_assert!((1.0..2.0).contains(&x), "x = {}", x);
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn mapped_and_filtered(v in prop::collection::vec(0u64..100, 2..5),
+                               s in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!(s == "a" || s == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_is_respected(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 20);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        let sa = crate::Strategy::generate(&(0u64..1000), &mut a);
+        let sb = crate::Strategy::generate(&(0u64..1000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

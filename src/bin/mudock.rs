@@ -8,6 +8,8 @@
 //!               [--local-search] [--out pose.pdbqt]
 //! mudock dock   --demo                               # bundled 1a30-like complex
 //! mudock screen --demo N [--threads T]               # synthetic screening batch
+//! mudock serve  --demo N [--jobs J] [--threads T]    # screening service demo
+//!               [--top K] [--chunk C] [--jsonl DIR] [--checkpoint DIR]
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI-crate dependency, matching the
@@ -24,7 +26,7 @@ use mudock::mol::{Molecule, Vec3};
 use mudock::simd::SimdLevel;
 
 fn usage() -> &'static str {
-    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n\noptions:\n  --backend <reference|autovec|sse2|avx2|avx512>   (default: best available)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen only)"
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n\noptions:\n  --backend <reference|autovec|sse2|avx2|avx512>   (default: best available)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --top K           ranking size per job (serve only, default 10)\n  --chunk C         ligands per chunk (serve only, default 16)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)"
 }
 
 /// Split argv into flags (`--k v` / bare `--k`) and positionals.
@@ -60,14 +62,25 @@ fn cmd_info(positional: &[String]) -> Result<(), String> {
     let mol = load(path)?;
     mol.validate().map_err(|e| e.to_string())?;
     let topo = mudock::mol::Topology::build(&mol);
-    println!("name:            {}", if mol.name.is_empty() { "(unnamed)" } else { &mol.name });
+    println!(
+        "name:            {}",
+        if mol.name.is_empty() {
+            "(unnamed)"
+        } else {
+            &mol.name
+        }
+    );
     println!("atoms:           {}", mol.atoms.len());
     println!(
         "heavy atoms:     {}",
         mol.atoms.iter().filter(|a| !a.ty.is_hydrogen()).count()
     );
     println!("bonds:           {}", mol.bonds.len());
-    println!("rotatable bonds: {} ({} usable torsions)", mol.num_rotatable_bonds(), topo.torsions.len());
+    println!(
+        "rotatable bonds: {} ({} usable torsions)",
+        mol.num_rotatable_bonds(),
+        topo.torsions.len()
+    );
     println!("scored pairs:    {}", topo.pairs.len());
     println!("net charge:      {:+.3} e", mol.total_charge());
     println!("radius:          {:.2} Å", mol.radius());
@@ -85,7 +98,11 @@ fn backend_from(flags: &HashMap<String, String>) -> Result<Backend, String> {
     }
 }
 
-fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
@@ -144,9 +161,17 @@ fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
     let params = params_from(flags)?;
     eprintln!(
         "docking {} ({} atoms) into {} ({} atoms) with backend {}…",
-        if ligand.name.is_empty() { "ligand" } else { &ligand.name },
+        if ligand.name.is_empty() {
+            "ligand"
+        } else {
+            &ligand.name
+        },
         ligand.atoms.len(),
-        if receptor.name.is_empty() { "receptor" } else { &receptor.name },
+        if receptor.name.is_empty() {
+            "receptor"
+        } else {
+            &receptor.name
+        },
         receptor.atoms.len(),
         params.backend
     );
@@ -188,14 +213,20 @@ fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `N` of `--demo N`: `default` for a bare `--demo`, an error (not
+/// a silent fallback) when a value is present but unparsable.
+fn demo_count(flags: &HashMap<String, String>, default: usize) -> Result<usize, String> {
+    match flags.get("demo").map(String::as_str) {
+        None | Some("") => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --demo value '{v}'")),
+    }
+}
+
 fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
     if !flags.contains_key("demo") {
         return Err("screen currently supports --demo N (synthetic batch)".into());
     }
-    let n: usize = flags
-        .get("demo")
-        .and_then(|v| if v.is_empty() { None } else { v.parse().ok() })
-        .unwrap_or(16);
+    let n = demo_count(flags, 16)?;
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
     let mut params = params_from(flags)?;
     if !flags.contains_key("generations") {
@@ -216,8 +247,101 @@ fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("\nrank  ligand                              score (kcal/mol)");
     for (rank, idx) in summary.top_k(10.min(n)).into_iter().enumerate() {
         let r = &summary.results[idx];
-        println!("{:>4}  {:<34} {:>10.3}", rank + 1, r.name, r.best_score.unwrap());
+        println!(
+            "{:>4}  {:<34} {:>10.3}",
+            rank + 1,
+            r.name,
+            r.best_score.unwrap()
+        );
     }
+    Ok(())
+}
+
+/// Demo of the screening service: J concurrent jobs against one shared
+/// synthetic receptor, showing the grid cache, fair thread sharing, and
+/// incremental top-k sinks in action.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use mudock::serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
+    use std::sync::Arc;
+
+    if !flags.contains_key("demo") {
+        return Err("serve currently supports --demo N (synthetic batch per job)".into());
+    }
+    let n = demo_count(flags, 32)?;
+    let jobs: usize = num(flags, "jobs", 2usize)?.max(1);
+    let threads = num(flags, "threads", mudock::pool::default_threads())?;
+    let top_k = num(flags, "top", 10usize)?;
+    let chunk_size = num(flags, "chunk", 16usize)?.max(1);
+    let mut params = params_from(flags)?;
+    if !flags.contains_key("generations") {
+        params.ga.generations = 60; // keep the demo snappy
+    }
+
+    let service = ScreenService::start(ServeConfig {
+        total_threads: threads,
+        job_slots: jobs.min(threads).max(1),
+        ..ServeConfig::default()
+    });
+    let receptor = Arc::new(mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0));
+    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
+
+    eprintln!("serving {jobs} jobs × {n} ligands on {threads} threads…");
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|j| {
+            let mut spec = JobSpec {
+                name: format!("demo-{j}"),
+                receptor: Arc::clone(&receptor),
+                ligands: LigandSource::synth(params.seed.wrapping_add(j as u64), n),
+                params: params.clone(),
+                top_k,
+                chunk_size,
+                grid_dims: Some(dims),
+                ..JobSpec::default()
+            };
+            if let Some(dir) = flags.get("jsonl") {
+                spec.jsonl = Some(std::path::Path::new(dir).join(format!("demo-{j}.jsonl")));
+            }
+            if let Some(dir) = flags.get("checkpoint") {
+                spec.checkpoint = Some(std::path::Path::new(dir).join(format!("demo-{j}.ckpt")));
+            }
+            service.submit(spec).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    for handle in handles {
+        let o = handle.wait();
+        println!(
+            "job {:<10} {:?}  {} ligands in {:.2?}  grid {}  best:",
+            o.name,
+            o.state,
+            o.ligands_done,
+            o.elapsed,
+            if o.grid_cache_hit {
+                "cache-hit"
+            } else {
+                "built"
+            },
+        );
+        if let Some(err) = &o.error {
+            println!("  error: {err}");
+        }
+        for (rank, r) in o.top.iter().enumerate() {
+            println!("  {:>3}  {:<34} {:>10.3}", rank + 1, r.name, r.score);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    println!(
+        "\n{} ligands docked live in {:.2?} → {:.1} ligands/s  (cache: {} hit / {} miss, {:.0} % hit rate)",
+        stats.ligands_docked,
+        elapsed,
+        stats.ligands_docked as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.cache.hits,
+        stats.cache.misses,
+        100.0 * stats.cache.hit_rate(),
+    );
+    service.shutdown();
     Ok(())
 }
 
@@ -232,6 +356,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&positional),
         "dock" => cmd_dock(&flags),
         "screen" => cmd_screen(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

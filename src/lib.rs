@@ -17,4 +17,5 @@ pub use mudock_mol as mol;
 pub use mudock_molio as molio;
 pub use mudock_perf as perf;
 pub use mudock_pool as pool;
+pub use mudock_serve as serve;
 pub use mudock_simd as simd;

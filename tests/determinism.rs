@@ -20,7 +20,11 @@ fn setup() -> (mudock::grids::GridSet, LigandPrep) {
 
 fn params(seed: u64) -> DockParams {
     DockParams {
-        ga: GaParams { population: 20, generations: 12, ..Default::default() },
+        ga: GaParams {
+            population: 20,
+            generations: 12,
+            ..Default::default()
+        },
         seed,
         backend: Backend::Explicit(SimdLevel::detect()),
         search_radius: Some(4.0),

@@ -8,7 +8,11 @@ use mudock::simd::SimdLevel;
 
 fn params(backend: Backend) -> DockParams {
     DockParams {
-        ga: GaParams { population: 24, generations: 18, ..Default::default() },
+        ga: GaParams {
+            population: 24,
+            generations: 18,
+            ..Default::default()
+        },
         seed: 77,
         backend,
         search_radius: Some(4.5),
@@ -72,7 +76,10 @@ fn every_backend_docks_and_improves() {
         );
         let first = report.history[0];
         let last = *report.history.last().unwrap();
-        assert!(last <= first, "{backend}: no improvement ({first} → {last})");
+        assert!(
+            last <= first,
+            "{backend}: no improvement ({first} → {last})"
+        );
         assert_eq!(report.evaluations, 24 * 18, "{backend}");
     }
 }
@@ -108,7 +115,5 @@ fn dock_rejects_ligand_with_unbuilt_maps() {
         .build_scalar();
     let engine = DockingEngine::new(&maps).unwrap();
     let prep = LigandPrep::new(ligand).unwrap();
-    assert!(engine
-        .dock(&prep, &params(Backend::AutoVec))
-        .is_err());
+    assert!(engine.dock(&prep, &params(Backend::AutoVec)).is_err());
 }

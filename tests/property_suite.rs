@@ -13,9 +13,7 @@ fn unit_quat() -> impl Strategy<Value = Quat> {
         -1.0f32..1.0,
         0.01f32..std::f32::consts::PI,
     )
-        .prop_map(|(x, y, z, angle)| {
-            Quat::from_axis_angle(Vec3::new(x, y, z + 1.5), angle)
-        })
+        .prop_map(|(x, y, z, angle)| Quat::from_axis_angle(Vec3::new(x, y, z + 1.5), angle))
 }
 
 fn vec3() -> impl Strategy<Value = Vec3> {
@@ -95,6 +93,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // Floyd-Warshall over an n*n matrix
     fn topology_pairs_respect_exclusions(seed in 0u64..300, heavy in 6usize..30) {
         let m = mudock::molio::synthetic_ligand(
             seed,
@@ -134,11 +133,17 @@ proptest! {
 #[test]
 fn grid_interpolation_is_bounded_by_map_extremes() {
     use mudock::grids::{trilinear, GridDims};
-    use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
     let _ = |r: &mut StdRng| -> f32 { RngExt::random(r) }; // keep both traits used
-    let dims = GridDims { npts: [9, 9, 9], spacing: 0.5, origin: Vec3::ZERO };
+    let dims = GridDims {
+        npts: [9, 9, 9],
+        spacing: 0.5,
+        origin: Vec3::ZERO,
+    };
     let mut rng = StdRng::seed_from_u64(99);
-    let map: Vec<f32> = (0..dims.total()).map(|_| rng.random::<f32>() * 100.0 - 50.0).collect();
+    let map: Vec<f32> = (0..dims.total())
+        .map(|_| rng.random::<f32>() * 100.0 - 50.0)
+        .collect();
     let lo = map.iter().cloned().fold(f32::INFINITY, f32::min);
     let hi = map.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     for _ in 0..2000 {
@@ -148,7 +153,10 @@ fn grid_interpolation_is_bounded_by_map_extremes() {
             rng.random::<f32>() * 8.0 - 2.0,
         );
         let v = trilinear(&map, &dims, p);
-        assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "interpolant escaped [{lo}, {hi}]: {v}");
+        assert!(
+            v >= lo - 1e-3 && v <= hi + 1e-3,
+            "interpolant escaped [{lo}, {hi}]: {v}"
+        );
     }
 }
 
@@ -168,5 +176,8 @@ fn cache_sim_lru_and_inclusion_invariants() {
         accesses += 1;
     }
     assert_eq!(c.accesses, accesses);
-    assert!(c.misses <= accesses / 2, "at most the first of each pair can miss");
+    assert!(
+        c.misses <= accesses / 2,
+        "at most the first of each pair can miss"
+    );
 }

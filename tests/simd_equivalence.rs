@@ -3,8 +3,7 @@
 //! backbone of the whole explicit-vectorization arm.
 
 use mudock::core::scoring::{
-    inter_energy_reference, inter_energy_simd, intra_energy_reference, intra_energy_simd,
-    PairsSoA,
+    inter_energy_reference, inter_energy_simd, intra_energy_reference, intra_energy_simd, PairsSoA,
 };
 use mudock::core::transform::{apply_pose_reference, apply_pose_simd};
 use mudock::core::{Genotype, LigandPrep};
@@ -17,10 +16,10 @@ use proptest::prelude::*;
 /// Strategy: a ligand spec plus a pose seed.
 fn spec_strategy() -> impl Strategy<Value = (u64, usize, usize, u64)> {
     (
-        0u64..1000,       // ligand seed
-        8usize..36,       // heavy atoms
-        0usize..8,        // torsions
-        0u64..1000,       // pose seed
+        0u64..1000, // ligand seed
+        8usize..36, // heavy atoms
+        0usize..8,  // torsions
+        0u64..1000, // pose seed
     )
 }
 
