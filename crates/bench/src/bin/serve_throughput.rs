@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use mudock_core::{DockParams, GaParams};
+use mudock_core::{Campaign, ChunkPolicy};
 use mudock_grids::GridDims;
 use mudock_mol::Vec3;
 use mudock_serve::{JobSpec, JobState, LigandSource, ScreenService, ServeConfig};
@@ -32,31 +32,27 @@ fn main() {
     // so all builds after the first are cache hits.
     let receptor = Arc::new(mudock_molio::synthetic_receptor(0xbe2c, 300, 9.0));
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
-    let params = DockParams {
-        ga: GaParams {
-            population: 25,
-            generations: 30,
-            ..Default::default()
-        },
-        seed: 0xbe2c,
-        search_radius: Some(5.0),
-        ..Default::default()
-    };
 
     eprintln!("serve_throughput: {jobs} jobs × {n_ligands} ligands on {threads} threads");
     let t0 = std::time::Instant::now();
     let handles: Vec<_> = (0..jobs)
         .map(|j| {
+            let campaign = Campaign::builder()
+                .name(format!("bench-{j}"))
+                .population(25)
+                .generations(30)
+                .seed(0xbe2c)
+                .search_radius(5.0)
+                .top_k(10)
+                .chunk(ChunkPolicy::Fixed(8))
+                .grid_dims(dims)
+                .build()
+                .expect("the bench campaign is valid");
             service
                 .submit(JobSpec {
-                    name: format!("bench-{j}"),
                     receptor: Arc::clone(&receptor),
                     ligands: LigandSource::synth(j as u64, n_ligands),
-                    params: params.clone(),
-                    top_k: 10,
-                    chunk_size: 8,
-                    grid_dims: Some(dims),
-                    ..JobSpec::default()
+                    ..JobSpec::from(campaign)
                 })
                 .expect("bench jobs fit the queue")
         })

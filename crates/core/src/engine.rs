@@ -40,11 +40,15 @@ impl Backend {
         }
     }
 
-    /// Parse a backend name from an experiment command line.
+    /// Parse a backend name from an experiment command line. Every
+    /// canonical [`Backend::name`] round-trips; `"scalar"` names the
+    /// one-lane *explicit* backend ([`SimdLevel::Scalar`]), matching what
+    /// `Explicit(Scalar).name()` prints — use `"autovec"` for the
+    /// auto-vectorization arm.
     pub fn parse(s: &str) -> Option<Backend> {
         match s.to_ascii_lowercase().as_str() {
             "reference" | "scalar-libm" => Some(Backend::Reference),
-            "autovec" | "scalar" => Some(Backend::AutoVec),
+            "autovec" => Some(Backend::AutoVec),
             other => SimdLevel::parse(other).map(Backend::Explicit),
         }
     }
@@ -256,6 +260,29 @@ impl<'a> DockingEngine<'a> {
 
     /// Run the full GA docking loop for one ligand.
     pub fn dock(&self, prep: &LigandPrep, params: &DockParams) -> Result<DockReport, DockError> {
+        self.dock_with_stop(prep, params, &crate::campaign::StopPolicy::Complete)
+    }
+
+    /// Dock one ligand from a [`CampaignSpec`](crate::campaign::CampaignSpec)
+    /// — the campaign-API form of [`DockingEngine::dock`]. The spec's
+    /// [`StopPolicy`](crate::campaign::StopPolicy) is honored at
+    /// generation boundaries: an evaluation budget or deadline caps the
+    /// search, and `RankingStable` stops once the best score has held
+    /// still for the configured window of generations.
+    pub fn dock_campaign(
+        &self,
+        prep: &LigandPrep,
+        spec: &crate::campaign::CampaignSpec,
+    ) -> Result<DockReport, DockError> {
+        self.dock_with_stop(prep, &spec.dock_params(), &spec.stop)
+    }
+
+    fn dock_with_stop(
+        &self,
+        prep: &LigandPrep,
+        params: &DockParams,
+        stop: &crate::campaign::StopPolicy,
+    ) -> Result<DockReport, DockError> {
         self.validate_prep(prep)?;
         let radius = params
             .search_radius
@@ -278,6 +305,7 @@ impl<'a> DockingEngine<'a> {
         let mut history = Vec::with_capacity(params.ga.generations);
         let mut stats = KernelStats::default();
         let mut evaluations = 0u64;
+        let mut stop_check = crate::campaign::StopCheck::new();
 
         for _gen in 0..params.ga.generations {
             for (ind, fit) in pop.iter().zip(fitness.iter_mut()) {
@@ -326,6 +354,9 @@ impl<'a> DockingEngine<'a> {
                 (prep.plans.len() as u64) * (prep.base.n as u64) * pop.len() as u64;
             stats.generations += 1;
             history.push(best_score);
+            if stop_check.should_stop(stop, evaluations, &[(best_score, 0)]) {
+                break;
+            }
             pop = ga.evolve(&pop, &fitness);
         }
 
@@ -464,6 +495,110 @@ mod tests {
         let prep = LigandPrep::new(lig).unwrap();
         let err = engine.dock(&prep, &small_params(Backend::AutoVec));
         assert!(matches!(err, Err(DockError::MissingMap { .. })));
+    }
+
+    #[test]
+    fn backend_name_parse_round_trips_for_every_available_backend() {
+        for backend in Backend::available() {
+            let name = backend.name();
+            assert_eq!(
+                Backend::parse(&name),
+                Some(backend),
+                "'{name}' must parse back to {backend:?}"
+            );
+            // Names are CLI-facing: lowercase, non-empty, no whitespace.
+            assert!(!name.is_empty());
+            assert_eq!(name, name.to_ascii_lowercase());
+            assert!(!name.contains(char::is_whitespace));
+        }
+        // Aliases normalize onto the canonical backends.
+        assert_eq!(Backend::parse("scalar-libm"), Some(Backend::Reference));
+        assert_eq!(
+            Backend::parse("scalar"),
+            Some(Backend::Explicit(SimdLevel::Scalar)),
+            "'scalar' names the explicit one-lane backend, as name() prints it"
+        );
+        assert_eq!(Backend::parse("REFERENCE"), Some(Backend::Reference));
+        // Unknown names are rejected, not defaulted.
+        for bogus in ["", "neon", "avx1024", "auto vec", "fastest", "sse 2"] {
+            assert_eq!(Backend::parse(bogus), None, "'{bogus}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn dock_campaign_matches_dock_for_run_to_completion() {
+        let (rec, lig) = complex_1a30_like();
+        let gs = grids_for(&lig, &rec);
+        let engine = DockingEngine::new(&gs).unwrap();
+        let prep = LigandPrep::new(lig).unwrap();
+        let spec = crate::campaign::Campaign::builder()
+            .population(30)
+            .generations(25)
+            .seed(1234)
+            .search_radius(4.0)
+            .backend(crate::campaign::BackendPolicy::Fixed(Backend::AutoVec))
+            .build()
+            .unwrap();
+        let via_campaign = engine.dock_campaign(&prep, &spec).unwrap();
+        let via_params = engine.dock(&prep, &spec.dock_params()).unwrap();
+        assert_eq!(via_campaign.best_score, via_params.best_score);
+        assert_eq!(via_campaign.history, via_params.history);
+        assert_eq!(via_campaign.evaluations, via_params.evaluations);
+    }
+
+    #[test]
+    fn dock_campaign_honors_evaluation_budget() {
+        let (rec, lig) = complex_1a30_like();
+        let gs = grids_for(&lig, &rec);
+        let engine = DockingEngine::new(&gs).unwrap();
+        let prep = LigandPrep::new(lig).unwrap();
+        let spec = crate::campaign::Campaign::builder()
+            .population(30)
+            .generations(25)
+            .seed(1234)
+            .search_radius(4.0)
+            .stop(crate::campaign::StopPolicy::MaxEvaluations(90))
+            .build()
+            .unwrap();
+        let report = engine.dock_campaign(&prep, &spec).unwrap();
+        // 30 evaluations/generation: the budget trips after generation 3.
+        assert_eq!(report.evaluations, 90);
+        assert_eq!(report.history.len(), 3);
+    }
+
+    #[test]
+    fn dock_campaign_stops_when_best_score_stabilizes() {
+        let (rec, lig) = complex_1a30_like();
+        let gs = grids_for(&lig, &rec);
+        let engine = DockingEngine::new(&gs).unwrap();
+        let prep = LigandPrep::new(lig).unwrap();
+        let full = crate::campaign::Campaign::builder()
+            .population(30)
+            .generations(200)
+            .seed(1234)
+            .search_radius(4.0)
+            .build()
+            .unwrap();
+        let stable = crate::campaign::CampaignSpec {
+            stop: crate::campaign::StopPolicy::RankingStable {
+                window: 5,
+                epsilon: 0.0,
+            },
+            ..full.clone()
+        };
+        let early = engine.dock_campaign(&prep, &stable).unwrap();
+        let complete = engine.dock_campaign(&prep, &full).unwrap();
+        assert!(
+            early.history.len() < complete.history.len(),
+            "a 200-generation run should stabilize early ({} generations)",
+            early.history.len()
+        );
+        // The early history is a prefix of the full run's.
+        assert_eq!(
+            complete.history[..early.history.len()],
+            early.history[..],
+            "early stop must not change any produced value"
+        );
     }
 
     #[test]

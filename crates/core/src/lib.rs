@@ -14,6 +14,15 @@
 //! | [`Backend::AutoVec`]      | auto-vectorizable loops with inline polynomial math (`#pragma omp simd` + `-fveclib`) |
 //! | [`Backend::Explicit`]     | explicit SIMD via `mudock-simd` (Google Highway) |
 //!
+//! Runs are described by the [`campaign`] API: a [`CampaignSpec`] built
+//! through [`Campaign::builder`] composes a [`BackendPolicy`] (detect,
+//! fix, or pin a SIMD level per job), a [`StopPolicy`] (evaluation
+//! budgets, deadlines, ranking-stability early termination), and a
+//! [`ChunkPolicy`] (fixed or adaptive batch sizing), and lowers to the
+//! kernel-level [`DockParams`]. Every entry point — one-shot docking,
+//! batch [`screen_campaign`], `mudock-serve` jobs, and the CLI —
+//! consumes that one shape.
+//!
 //! ```
 //! use mudock_core::{Backend, DockParams, DockingEngine, GaParams, LigandPrep};
 //! use mudock_grids::{GridBuilder, GridDims};
@@ -41,6 +50,7 @@
 //! assert_eq!(report.evaluations, 50);
 //! ```
 
+pub mod campaign;
 pub mod engine;
 pub mod ga;
 pub mod genotype;
@@ -51,10 +61,14 @@ pub mod stats;
 pub mod topk;
 pub mod transform;
 
+pub use campaign::{
+    BackendPolicy, Campaign, CampaignBuilder, CampaignError, CampaignSpec, ChunkPolicy, ChunkSizer,
+    StopCheck, StopPolicy, MAX_CHUNK,
+};
 pub use engine::{Backend, DockError, DockParams, DockReport, DockingEngine, LigandPrep};
 pub use ga::{Ga, GaParams};
 pub use genotype::Genotype;
 pub use local_search::{solis_wets, LocalSearchResult, SolisWetsParams};
-pub use screen::{dock_ligand, ligand_seed, screen, ScreenResult, ScreenSummary};
+pub use screen::{dock_ligand, ligand_seed, screen, screen_campaign, ScreenResult, ScreenSummary};
 pub use stats::KernelStats;
 pub use topk::TopK;

@@ -5,6 +5,7 @@
 use mudock_grids::GridSet;
 use mudock_mol::Molecule;
 
+use crate::campaign::{CampaignSpec, StopCheck};
 use crate::engine::{DockParams, DockingEngine, LigandPrep};
 use crate::stats::KernelStats;
 use crate::topk::TopK;
@@ -121,9 +122,79 @@ pub fn screen(
     }
 }
 
+/// Dock a batch under a full [`CampaignSpec`] — the campaign-API form of
+/// [`screen`]. Ligands are processed in chunks sized by the spec's
+/// [`ChunkPolicy`](crate::campaign::ChunkPolicy), and the
+/// [`StopPolicy`](crate::campaign::StopPolicy) is evaluated at every
+/// chunk boundary, so a campaign can stop on an evaluation budget, a
+/// deadline, or once the top-k ranking stabilizes.
+///
+/// Per-ligand results are identical to [`screen`]'s regardless of
+/// chunking or early termination: GA seeds are keyed on the global batch
+/// index, so every ligand that *is* docked scores exactly as it would in
+/// an uninterrupted sequential run. An early-stopped summary simply
+/// holds fewer results (a prefix of the batch).
+pub fn screen_campaign(
+    grids: &GridSet,
+    ligands: &[Molecule],
+    spec: &CampaignSpec,
+    threads: usize,
+) -> ScreenSummary {
+    let engine = DockingEngine::new(grids).expect("grid set too large for the engine");
+    let params = spec.dock_params();
+    let start = std::time::Instant::now();
+    let mut sizer = spec.chunk_sizer();
+    let mut stop_check = StopCheck::new();
+    let mut top: TopK<usize> = TopK::new(spec.top_k);
+    let mut results: Vec<ScreenResult> = Vec::with_capacity(ligands.len());
+    let mut evaluations = 0u64;
+    let mut used_threads = threads.max(1);
+
+    let mut offset = 0;
+    while offset < ligands.len() {
+        let size = sizer.next_size().min(ligands.len() - offset);
+        let chunk = &ligands[offset..offset + size];
+        let t0 = std::time::Instant::now();
+        let (chunk_results, pool_stats) =
+            mudock_pool::parallel_map_stats(chunk, threads, |i, lig| {
+                dock_ligand(&engine, lig, &params, offset + i)
+            });
+        sizer.observe(size, t0.elapsed());
+        used_threads = pool_stats.threads;
+        for (i, r) in chunk_results.iter().enumerate() {
+            evaluations += r.evaluations;
+            if let Some(score) = r.best_score {
+                top.push(score, offset + i);
+            }
+        }
+        results.extend(chunk_results);
+        offset += size;
+        // Snapshotting the ranking costs a top-k clone + sort, so only
+        // RankingStable — the one policy that reads it — pays for it.
+        let ranking = if matches!(spec.stop, crate::campaign::StopPolicy::RankingStable { .. }) {
+            top.clone().into_sorted()
+        } else {
+            Vec::new()
+        };
+        if stop_check.should_stop(&spec.stop, evaluations, &ranking) {
+            break;
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let throughput = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    ScreenSummary {
+        results,
+        elapsed,
+        threads: used_threads,
+        throughput,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::{BackendPolicy, Campaign, ChunkPolicy, StopPolicy};
     use crate::engine::Backend;
     use crate::ga::GaParams;
     use mudock_grids::{GridBuilder, GridDims};
@@ -232,6 +303,67 @@ mod tests {
 
         let empty = summary_with_scores(&[]);
         assert!(empty.top_k(5).is_empty());
+    }
+
+    /// The campaign twin of [`quick_params`].
+    fn quick_campaign() -> crate::campaign::CampaignBuilder {
+        Campaign::builder()
+            .ga(GaParams {
+                population: 12,
+                generations: 6,
+                ..Default::default()
+            })
+            .seed(99)
+            .search_radius(4.0)
+            .backend(BackendPolicy::Detect)
+    }
+
+    #[test]
+    fn screen_campaign_matches_screen_for_any_chunking() {
+        let (gs, ligands) = tiny_batch();
+        let reference = screen(&gs, &ligands, &quick_params(), 2);
+        for chunk in [
+            ChunkPolicy::Fixed(1),
+            ChunkPolicy::Fixed(4),
+            ChunkPolicy::Fixed(100),
+        ] {
+            let spec = quick_campaign().chunk(chunk).build().unwrap();
+            let summary = screen_campaign(&gs, &ligands, &spec, 2);
+            assert_eq!(summary.results.len(), ligands.len());
+            for (a, b) in summary.results.iter().zip(&reference.results) {
+                assert_eq!(a.best_score, b.best_score, "{:?} ligand {}", chunk, a.name);
+            }
+        }
+        let adaptive = quick_campaign()
+            .chunk(ChunkPolicy::Adaptive {
+                target: std::time::Duration::from_millis(20),
+            })
+            .build()
+            .unwrap();
+        let summary = screen_campaign(&gs, &ligands, &adaptive, 2);
+        assert_eq!(summary.results.len(), ligands.len());
+        for (a, b) in summary.results.iter().zip(&reference.results) {
+            assert_eq!(a.best_score, b.best_score, "adaptive ligand {}", a.name);
+        }
+    }
+
+    #[test]
+    fn screen_campaign_evaluation_budget_stops_between_chunks() {
+        let (gs, ligands) = tiny_batch();
+        // 12 × 6 = 72 evaluations per ligand; budget of one ligand's worth
+        // with 2-ligand chunks → exactly one chunk runs.
+        let spec = quick_campaign()
+            .chunk(ChunkPolicy::Fixed(2))
+            .stop(StopPolicy::MaxEvaluations(72))
+            .build()
+            .unwrap();
+        let summary = screen_campaign(&gs, &ligands, &spec, 1);
+        assert_eq!(summary.results.len(), 2, "stopped after the first chunk");
+        // The processed prefix is bit-identical to the full run's.
+        let full = screen(&gs, &ligands, &quick_params(), 1);
+        for (a, b) in summary.results.iter().zip(&full.results) {
+            assert_eq!(a.best_score, b.best_score);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Building a grid set is the dominant fixed cost of a screening job
 //! (AutoGrid-style precomputation over every lattice point), and virtual
 //! screening campaigns hammer the *same* receptor with millions of
-//! ligands. `mudock-serve` therefore caches built [`GridSet`]s keyed by
+//! ligands. `mudock-serve` therefore caches built [`GridSet`](crate::GridSet)s keyed by
 //! *what went into the build*: receptor content and lattice geometry.
 //! This module provides those keys as stable 64-bit FNV-1a fingerprints —
 //! independent of pointer identity, allocation order, or molecule names,

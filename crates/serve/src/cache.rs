@@ -1,11 +1,16 @@
-//! LRU cache of built grid sets, keyed by receptor + lattice content.
+//! LRU cache of built grid sets, keyed by receptor + lattice content +
+//! build level.
 //!
 //! AutoGrid-style precomputation is the dominant *fixed* cost of a
 //! screening job; campaigns hammer the same few targets with millions of
 //! ligands. The cache keys built [`GridSet`]s by
-//! [`mudock_grids::grid_cache_key`] — a content fingerprint, so two
-//! `Molecule` values with identical atoms share an entry regardless of
-//! provenance.
+//! `(content fingerprint, SIMD level)`: the fingerprint is
+//! [`mudock_grids::grid_cache_key`] (receptor atoms + lattice geometry,
+//! so two `Molecule` values with identical atoms share an entry
+//! regardless of provenance), and the [`SimdLevel`] is the level the
+//! maps were built at. Jobs pinned to different levels — heterogeneous
+//! clients sharing one node — therefore get *distinct* entries instead
+//! of silently reading grids built with another job's instruction set.
 //!
 //! Each entry is an [`OnceLock`] slot: the first job to miss installs the
 //! slot and builds into it; concurrent jobs for the same key find the
@@ -50,7 +55,7 @@ impl CacheStats {
 }
 
 struct Entry {
-    key: u64,
+    key: (u64, SimdLevel),
     slot: Arc<OnceLock<Arc<GridSet>>>,
     /// Logical timestamp of the last lookup — the LRU ordering.
     last_use: u64,
@@ -86,8 +91,10 @@ impl GridCache {
         }
     }
 
-    /// The grid set for `receptor` on `dims`, building it (all maps, at
-    /// `level`) on a miss. Returns the set and whether it was a hit.
+    /// The grid set for `receptor` on `dims` built at `level`, building
+    /// it (all maps) on a miss. `level` is part of the cache key: two
+    /// jobs pinned to different SIMD levels never share an entry.
+    /// Returns the set and whether it was a hit.
     pub fn get_or_build(
         &self,
         receptor: &Molecule,
@@ -95,7 +102,7 @@ impl GridCache {
         level: SimdLevel,
         monitor: Option<&PerfMonitor>,
     ) -> (Arc<GridSet>, bool) {
-        let key = grid_cache_key(receptor, &dims);
+        let key = (grid_cache_key(receptor, &dims), level);
 
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -208,6 +215,21 @@ mod tests {
         let (_, second) = cache.get_or_build(&renamed, dims(), SimdLevel::detect(), None);
         assert!(!first);
         assert!(second, "identical content must share the cache entry");
+    }
+
+    #[test]
+    fn pinned_levels_get_distinct_entries() {
+        let cache = GridCache::new(4);
+        let rec = synthetic_receptor(3, 40, 5.0);
+        let levels = SimdLevel::available();
+        for &l in &levels {
+            let (_, hit) = cache.get_or_build(&rec, dims(), l, None);
+            assert!(!hit, "{l}: each level builds its own grids");
+        }
+        assert_eq!(cache.stats().entries, levels.len().min(4));
+        // Revisiting a level is a hit on that level's entry.
+        let (_, hit) = cache.get_or_build(&rec, dims(), levels[0], None);
+        assert!(hit);
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Job descriptions, handles, and outcomes — the service's unit of work.
 //!
-//! A [`JobSpec`] bundles everything one screening campaign needs: the
-//! receptor, a lazy ligand stream, docking parameters, and where results
-//! should land (top-k size, JSONL path, checkpoint path). Submission
-//! returns a [`JobHandle`], the client's side of the job: poll progress,
-//! cancel, or block in [`JobHandle::wait`] for the final [`JobOutcome`].
+//! A [`JobSpec`] is a thin adapter binding a typed
+//! [`CampaignSpec`] — the *what* and *how* of
+//! the run: GA shape, backend/stop/chunk policies, top-k, lattice — to
+//! the service-side *where*: the receptor, a lazy ligand stream, a
+//! priority, and the sinks (JSONL path, checkpoint path, progress
+//! callback). `JobSpec::from(campaign)` builds one with empty bindings.
+//! Submission returns a [`JobHandle`], the client's side of the job:
+//! poll progress, cancel, or block in [`JobHandle::wait`] for the final
+//! [`JobOutcome`].
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use mudock_core::DockParams;
-use mudock_grids::GridDims;
+use mudock_core::CampaignSpec;
 use mudock_mol::Molecule;
 
 use crate::ingest::LigandSource;
@@ -73,6 +76,10 @@ pub struct JobOutcome {
     /// Whether the receptor grid came out of the cache (shared builds in
     /// progress count as hits — the build ran once either way).
     pub grid_cache_hit: bool,
+    /// The job's [`StopPolicy`](mudock_core::StopPolicy) ended it before
+    /// the input was exhausted (state is still [`JobState::Completed`]:
+    /// stopping early is the policy *succeeding*, not a cancellation).
+    pub stopped_early: bool,
     /// The `top_k` best ligands, best first.
     pub top: Vec<RankedLigand>,
     /// Wall-clock time from execution start (queueing excluded).
@@ -109,25 +116,18 @@ impl ChunkProgress<'_> {
 /// short, it is on the job's critical path.
 pub type ProgressFn = dyn Fn(&ChunkProgress<'_>) + Send + Sync;
 
-/// Everything one screening job needs.
+/// One screening job: a typed campaign plus its service-side bindings.
 #[derive(Clone)]
 pub struct JobSpec {
-    /// Human-readable name (reports, JSONL lines).
-    pub name: String,
+    /// The run description every entry point shares: GA shape, seed,
+    /// backend/stop/chunk policies, top-k, lattice, name. Built through
+    /// [`mudock_core::Campaign::builder`], which validates it.
+    pub campaign: CampaignSpec,
     /// The target. `Arc` so concurrent jobs share one allocation.
     pub receptor: Arc<Molecule>,
     /// Lazy ligand stream; never materialized whole.
     pub ligands: LigandSource,
-    /// Docking parameters applied to every ligand (per-ligand seeds are
-    /// derived via [`mudock_core::ligand_seed`]).
-    pub params: DockParams,
-    /// Ranking size kept by the incremental top-k sink.
-    pub top_k: usize,
-    /// Ligands per scheduling/checkpoint chunk.
-    pub chunk_size: usize,
     pub priority: Priority,
-    /// Grid lattice; derived from the receptor geometry when `None`.
-    pub grid_dims: Option<GridDims>,
     /// Stream per-ligand results to this JSONL file as chunks complete.
     pub jsonl: Option<PathBuf>,
     /// Record completed chunks here; a resubmitted job with the same
@@ -137,17 +137,22 @@ pub struct JobSpec {
     pub progress: Option<Arc<ProgressFn>>,
 }
 
-impl Default for JobSpec {
-    fn default() -> Self {
+impl JobSpec {
+    /// The campaign's human-readable name (reports, JSONL lines).
+    pub fn name(&self) -> &str {
+        &self.campaign.name
+    }
+}
+
+/// A campaign with no bindings yet: attach `receptor`, `ligands`, and
+/// sinks before submitting.
+impl From<CampaignSpec> for JobSpec {
+    fn from(campaign: CampaignSpec) -> JobSpec {
         JobSpec {
-            name: String::new(),
+            campaign,
             receptor: Arc::new(Molecule::new("")),
             ligands: LigandSource::synth(0, 0),
-            params: DockParams::default(),
-            top_k: 10,
-            chunk_size: 16,
             priority: Priority::Normal,
-            grid_dims: None,
             jsonl: None,
             checkpoint: None,
             progress: None,
@@ -155,13 +160,21 @@ impl Default for JobSpec {
     }
 }
 
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec::from(CampaignSpec::default())
+    }
+}
+
 impl std::fmt::Debug for JobSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobSpec")
-            .field("name", &self.name)
+            .field("name", &self.campaign.name)
             .field("receptor_atoms", &self.receptor.atoms.len())
-            .field("top_k", &self.top_k)
-            .field("chunk_size", &self.chunk_size)
+            .field("top_k", &self.campaign.top_k)
+            .field("backend", &self.campaign.backend)
+            .field("stop", &self.campaign.stop)
+            .field("chunk", &self.campaign.chunk)
             .field("priority", &self.priority)
             .finish_non_exhaustive()
     }
@@ -171,6 +184,11 @@ impl std::fmt::Debug for JobSpec {
 pub(crate) struct JobShared {
     pub id: JobId,
     pub cancel: AtomicBool,
+    /// Set when the cancellation originated from the job's own
+    /// [`StopPolicy`](mudock_core::StopPolicy) rather than a client:
+    /// the executor then reports `Completed` + `stopped_early` instead
+    /// of `Cancelled`.
+    pub policy_stop: AtomicBool,
     pub ligands_done: AtomicUsize,
     pub chunks_done: AtomicUsize,
     state: Mutex<(JobState, Option<JobOutcome>)>,
@@ -182,6 +200,7 @@ impl JobShared {
         Arc::new(JobShared {
             id,
             cancel: AtomicBool::new(false),
+            policy_stop: AtomicBool::new(false),
             ligands_done: AtomicUsize::new(0),
             chunks_done: AtomicUsize::new(0),
             state: Mutex::new((JobState::Queued, None)),
@@ -301,6 +320,7 @@ mod tests {
                 chunks_done: 1,
                 replayed_chunks: 0,
                 grid_cache_hit: false,
+                stopped_early: false,
                 top: Vec::new(),
                 elapsed: Duration::from_millis(1),
                 error: None,

@@ -2,7 +2,7 @@
 //!
 //! The kernels below this crate make one docking *fast*; this crate makes
 //! a node full of them a *service*. It turns the one-shot
-//! [`mudock_core::screen`] call into a long-running screening server in
+//! [`mudock_core::screen()`] call into a long-running screening server in
 //! the shape of the paper's full-node scenario (Fig. 2b — one ligand per
 //! task, parallelism across inputs), organized as four cooperating
 //! pieces:
@@ -27,31 +27,40 @@
 //!   checkpoint file records completed chunks so a killed job resumes
 //!   where it stopped with an identical final ranking.
 //!
+//! Jobs are described by the campaign API: a
+//! [`CampaignSpec`](mudock_core::CampaignSpec) built through
+//! [`Campaign::builder`](mudock_core::Campaign) carries the GA shape and
+//! the backend/stop/chunk policies — including per-job SIMD pinning
+//! (grids are cached per `(content, dims, level)`, so heterogeneous
+//! clients share a node without poisoning each other's grids), ranking-
+//! stability early termination, and adaptive chunk sizing. A [`JobSpec`]
+//! is the thin adapter binding that campaign to a receptor, a ligand
+//! stream, and the sinks.
+//!
 //! [`ScreenService`] wires them together. The 30-second version:
 //!
 //! ```
 //! use mudock_serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
-//! use mudock_core::{DockParams, GaParams};
+//! use mudock_core::Campaign;
 //! use std::sync::Arc;
 //!
 //! let service = ScreenService::start(ServeConfig {
 //!     total_threads: 2,
 //!     ..ServeConfig::default()
 //! });
-//! let receptor = Arc::new(mudock_molio::synthetic_receptor(7, 80, 8.0));
-//! let params = DockParams {
-//!     ga: GaParams { population: 8, generations: 4, ..Default::default() },
-//!     search_radius: Some(3.0),
-//!     ..Default::default()
-//! };
+//! let campaign = Campaign::builder()
+//!     .name("demo")
+//!     .population(8)
+//!     .generations(4)
+//!     .search_radius(3.0)
+//!     .top_k(3)
+//!     .build()
+//!     .expect("a valid campaign");
 //! let handle = service
 //!     .submit(JobSpec {
-//!         name: "demo".into(),
-//!         receptor,
+//!         receptor: Arc::new(mudock_molio::synthetic_receptor(7, 80, 8.0)),
 //!         ligands: LigandSource::synth(42, 6),
-//!         params,
-//!         top_k: 3,
-//!         ..JobSpec::default()
+//!         ..JobSpec::from(campaign)
 //!     })
 //!     .unwrap();
 //! let outcome = handle.wait();

@@ -3,7 +3,7 @@
 //! The admission edge of the service: a fixed-capacity queue so a burst
 //! of submissions degrades to queueing delay (or an explicit
 //! [`SubmitError::Full`]) instead of unbounded memory growth. Higher
-//! [`Priority`] jobs dequeue first; within a priority, submission order
+//! [`Priority`](crate::job::Priority) jobs dequeue first; within a priority, submission order
 //! (FIFO) wins. Cancellation is lazy — a cancelled job stays queued and
 //! is discarded by the executor when popped, which keeps the hot path
 //! free of queue surgery.

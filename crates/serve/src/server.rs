@@ -15,10 +15,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mudock_core::{dock_ligand, DockingEngine, ScreenResult, TopK};
-use mudock_grids::{grid_cache_key, Fnv64, GridDims, SimdLevel};
+use mudock_core::{dock_ligand, DockingEngine, ScreenResult, StopCheck, StopPolicy, TopK};
+use mudock_grids::{grid_cache_key, Fnv64, GridDims};
 use mudock_mol::Molecule;
-use mudock_molio::ChunkedExt;
 use mudock_perf::PerfMonitor;
 
 use crate::cache::{CacheStats, GridCache};
@@ -141,6 +140,7 @@ impl ScreenService {
                             chunks_done: 0,
                             replayed_chunks: 0,
                             grid_cache_hit: false,
+                            stopped_early: false,
                             top: Vec::new(),
                             elapsed: Default::default(),
                             error: Some("executor panicked while running the job".into()),
@@ -225,13 +225,19 @@ impl Drop for ScreenService {
 }
 
 /// Fingerprint of everything a checkpoint must agree on to be replayable:
-/// grid content, base seed, chunking, and ranking size.
+/// grid content, base seed, ranking size, and the resolved backend (two
+/// SIMD levels score within fast-math tolerance, not bit-identically, so
+/// their checkpoints must not mix). Chunking is deliberately absent —
+/// chunk boundaries live in the checkpoint records themselves and
+/// per-ligand seeds are keyed on the global index, so a job may resume
+/// under a *different* [`ChunkPolicy`](mudock_core::ChunkPolicy) and
+/// still finish with a bit-identical ranking.
 fn job_fingerprint(spec: &JobSpec, dims: GridDims) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(grid_cache_key(&spec.receptor, &dims))
-        .write_u64(spec.params.seed)
-        .write_u64(spec.chunk_size as u64)
-        .write_u64(spec.top_k as u64);
+        .write_u64(spec.campaign.seed)
+        .write_u64(spec.campaign.top_k as u64)
+        .write(spec.campaign.backend.resolve().name().as_bytes());
     h.finish()
 }
 
@@ -241,7 +247,8 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                   error: Option<String>,
                   top: Vec<RankedLigand>,
                   done: (usize, usize, usize),
-                  cache_hit: bool| {
+                  cache_hit: bool,
+                  stopped_early: bool| {
         match state {
             JobState::Completed => ctx.counters.completed.fetch_add(1, Ordering::Relaxed),
             JobState::Cancelled => ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed),
@@ -249,12 +256,13 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
         };
         shared.finish(JobOutcome {
             id: shared.id,
-            name: spec.name.clone(),
+            name: spec.campaign.name.clone(),
             state,
             ligands_done: done.0,
             chunks_done: done.1,
             replayed_chunks: done.2,
             grid_cache_hit: cache_hit,
+            stopped_early,
             top,
             elapsed: t0.elapsed(),
             error,
@@ -262,18 +270,27 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
     };
 
     if shared.cancel.load(Ordering::SeqCst) {
-        finish(JobState::Cancelled, None, Vec::new(), (0, 0, 0), false);
+        finish(
+            JobState::Cancelled,
+            None,
+            Vec::new(),
+            (0, 0, 0),
+            false,
+            false,
+        );
         return;
     }
     shared.set_running();
 
-    let dims = spec
-        .grid_dims
-        .unwrap_or_else(|| default_dims(&spec.receptor));
+    // The campaign's backend policy decides the level grids are built at
+    // — and thereby the `(content, dims, level)` cache entry this job
+    // reads, so jobs pinned to different levels never share grids.
+    let dims = spec.campaign.dims_for(&spec.receptor);
+    let params = spec.campaign.dock_params();
     let (grids, cache_hit) = ctx.cache.get_or_build(
         &spec.receptor,
         dims,
-        SimdLevel::detect(),
+        spec.campaign.grid_level(),
         Some(&ctx.monitor),
     );
     let engine = match DockingEngine::new(&grids) {
@@ -285,6 +302,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                 Vec::new(),
                 (0, 0, 0),
                 cache_hit,
+                false,
             );
             return;
         }
@@ -301,6 +319,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                     Vec::new(),
                     (0, 0, 0),
                     cache_hit,
+                    false,
                 );
                 return;
             }
@@ -330,6 +349,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                     Vec::new(),
                     (0, 0, 0),
                     cache_hit,
+                    false,
                 );
                 return;
             }
@@ -337,46 +357,81 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
         None => None,
     };
 
-    let stream = match spec.ligands.stream() {
+    let mut stream = match spec.ligands.stream() {
         Ok(s) => s,
         Err(e) => {
-            finish(JobState::Failed, Some(e), Vec::new(), (0, 0, 0), cache_hit);
+            finish(
+                JobState::Failed,
+                Some(e),
+                Vec::new(),
+                (0, 0, 0),
+                cache_hit,
+                false,
+            );
             return;
         }
     };
 
-    let chunk_size = spec.chunk_size.max(1);
-    let mut top: TopK<(usize, String)> = TopK::new(spec.top_k);
+    let mut sizer = spec.campaign.chunk_sizer();
+    let mut stop_check = StopCheck::new();
+    let mut top: TopK<(usize, String)> = TopK::new(spec.campaign.top_k);
     let (mut ligands_done, mut chunks_done, mut replayed_chunks) = (0usize, 0usize, 0usize);
+    // Global index of the next ligand — *cumulative*, never derived from
+    // the chunk index: chunk sizes may vary (adaptive policy, or a
+    // resume under a different policy than the checkpoint was written
+    // with), but per-ligand seeds must not.
+    let mut offset = 0usize;
+    let mut evaluations = 0u64;
     let mut state = JobState::Completed;
+    let mut stopped_early = false;
     let mut error = None;
 
-    for (ci, chunk) in stream.chunked(chunk_size).enumerate() {
+    for ci in 0usize.. {
         if shared.cancel.load(Ordering::SeqCst) {
-            state = JobState::Cancelled;
+            if shared.policy_stop.load(Ordering::SeqCst) {
+                // A policy firing exactly as the input ran out is a
+                // plain completion: "early" means ligands were skipped.
+                stopped_early = stream.next().is_some();
+            } else {
+                state = JobState::Cancelled;
+            }
             break;
         }
-        let offset = ci * chunk_size;
         let replay = ckpt.as_ref().and_then(|c| c.completed().get(&ci).cloned());
         let replayed = replay.is_some();
         if let Some(rec) = replay {
-            // Entries are stored in global-index order, so replay
-            // reproduces the live path's insertion order exactly.
+            // The record knows its own size: skip those ligands in the
+            // stream (they were docked in a previous run) and replay the
+            // chunk's top-k contribution. Entries are stored in
+            // global-index order, so replay reproduces the live path's
+            // insertion order exactly.
+            let skipped = stream.by_ref().take(rec.ligands).count();
+            if skipped == 0 {
+                break;
+            }
             for e in &rec.top {
                 top.push(e.score, (e.index, e.name.clone()));
             }
-            ligands_done += rec.ligands;
+            ligands_done += skipped;
+            offset += skipped;
             replayed_chunks += 1;
         } else {
+            let chunk: Vec<Molecule> = stream.by_ref().take(sizer.next_size()).collect();
+            if chunk.is_empty() {
+                break;
+            }
             // This job's fair share of the node, right now.
             let threads = (ctx.total_threads / ctx.active.load(Ordering::SeqCst).max(1)).max(1);
+            let chunk_t0 = Instant::now();
             let results: Vec<ScreenResult> =
                 mudock_pool::parallel_map(&chunk, threads, |i, lig| {
-                    dock_ligand(&engine, lig, &spec.params, offset + i)
+                    dock_ligand(&engine, lig, &params, offset + i)
                 });
+            sizer.observe(chunk.len(), chunk_t0.elapsed());
 
-            let mut chunk_top: TopK<(usize, String)> = TopK::new(spec.top_k);
+            let mut chunk_top: TopK<(usize, String)> = TopK::new(spec.campaign.top_k);
             for (i, r) in results.iter().enumerate() {
+                evaluations += r.evaluations;
                 if let Some(score) = r.best_score {
                     top.push(score, (offset + i, r.name.clone()));
                     chunk_top.push(score, (offset + i, r.name.clone()));
@@ -386,7 +441,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
             let io = || -> std::io::Result<()> {
                 if let Some(sink) = &mut sink {
                     for (i, r) in results.iter().enumerate() {
-                        sink.write_result(&spec.name, ci, offset + i, r)?;
+                        sink.write_result(&spec.campaign.name, ci, offset + i, r)?;
                     }
                     sink.flush()?;
                 }
@@ -410,19 +465,40 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                 .ligands
                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             ligands_done += chunk.len();
+            offset += chunk.len();
         }
         chunks_done += 1;
         shared.ligands_done.store(ligands_done, Ordering::SeqCst);
         shared.chunks_done.store(chunks_done, Ordering::SeqCst);
+        let progress = ChunkProgress {
+            job: shared.id,
+            chunk: ci,
+            chunks_done,
+            ligands_done,
+            replayed,
+            shared,
+        };
         if let Some(cb) = &spec.progress {
-            cb(&ChunkProgress {
-                job: shared.id,
-                chunk: ci,
-                chunks_done,
-                ligands_done,
-                replayed,
-                shared,
-            });
+            cb(&progress);
+        }
+        // The stop policy rides the same per-chunk cancellation hook the
+        // progress callback gets: when the policy says stop, the job
+        // cancels itself — and the outcome reports Completed +
+        // stopped_early instead of Cancelled. Snapshotting the ranking
+        // costs a top-k clone + sort, so only RankingStable pays it.
+        let ranking: Vec<(f32, usize)> =
+            if matches!(spec.campaign.stop, StopPolicy::RankingStable { .. }) {
+                top.clone()
+                    .into_sorted()
+                    .into_iter()
+                    .map(|(score, (index, _))| (score, index))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        if stop_check.should_stop(&spec.campaign.stop, evaluations, &ranking) {
+            shared.policy_stop.store(true, Ordering::SeqCst);
+            progress.cancel();
         }
     }
 
@@ -437,5 +513,6 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
         ranking,
         (ligands_done, chunks_done, replayed_chunks),
         cache_hit,
+        stopped_early,
     );
 }

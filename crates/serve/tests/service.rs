@@ -1,13 +1,16 @@
 //! End-to-end service tests: concurrent jobs sharing a grid cache,
-//! incremental JSONL streaming, checkpoint resume, and queue
-//! backpressure — each ranking checked against a sequential
-//! `mudock_core::screen` reference run.
+//! per-job SIMD pinning with per-level cache entries, stop-policy early
+//! termination, incremental JSONL streaming, checkpoint resume (also
+//! across a chunk-policy change), and queue backpressure — each ranking
+//! checked against a sequential `mudock_core` reference run.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mudock_core::{screen, DockParams, GaParams};
+use mudock_core::{
+    screen_campaign, BackendPolicy, Campaign, CampaignSpec, ChunkPolicy, StopPolicy,
+};
 use mudock_grids::{GridBuilder, GridDims};
 use mudock_mol::{Molecule, Vec3};
 use mudock_molio::{mediate_like_set, synthetic_receptor};
@@ -29,39 +32,40 @@ fn dims() -> GridDims {
     GridDims::centered(Vec3::ZERO, 10.0, 0.7)
 }
 
-fn params() -> DockParams {
-    DockParams {
-        ga: GaParams {
-            population: 10,
-            generations: 5,
-            ..Default::default()
-        },
-        seed: SEED,
-        search_radius: Some(3.5),
-        ..Default::default()
-    }
+fn campaign(name: &str) -> CampaignSpec {
+    Campaign::builder()
+        .name(name)
+        .population(10)
+        .generations(5)
+        .seed(SEED)
+        .search_radius(3.5)
+        .top_k(TOP_K)
+        .chunk(ChunkPolicy::Fixed(CHUNK))
+        .grid_dims(dims())
+        .build()
+        .expect("the test campaign is valid")
 }
 
 fn spec(name: &str) -> JobSpec {
     JobSpec {
-        name: name.into(),
         receptor: receptor(),
         ligands: LigandSource::synth(SEED, N_LIGANDS),
-        params: params(),
-        top_k: TOP_K,
-        chunk_size: CHUNK,
-        grid_dims: Some(dims()),
-        ..JobSpec::default()
+        ..JobSpec::from(campaign(name))
     }
 }
 
 /// `(index, name, score)` of the reference ranking: a one-shot
-/// sequential `core::screen` over the materialized batch.
-fn reference_top() -> Vec<(usize, String, f32)> {
+/// sequential `core::screen_campaign` over the materialized batch,
+/// consuming the *same* `CampaignSpec` the service jobs run from.
+fn reference_top_for(campaign: &CampaignSpec) -> Vec<(usize, String, f32)> {
     let rec = receptor();
-    let grids = GridBuilder::new(&rec, dims()).build_simd(SimdLevel::detect());
+    let grids = GridBuilder::new(&rec, dims()).build_simd(campaign.grid_level());
     let ligands = mediate_like_set(SEED, N_LIGANDS);
-    let summary = screen(&grids, &ligands, &params(), 1);
+    let full = CampaignSpec {
+        stop: StopPolicy::Complete,
+        ..campaign.clone()
+    };
+    let summary = screen_campaign(&grids, &ligands, &full, 1);
     summary
         .top_k(TOP_K)
         .into_iter()
@@ -73,6 +77,10 @@ fn reference_top() -> Vec<(usize, String, f32)> {
             )
         })
         .collect()
+}
+
+fn reference_top() -> Vec<(usize, String, f32)> {
+    reference_top_for(&campaign("reference"))
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -212,17 +220,26 @@ fn cancelled_job_resumes_from_its_checkpoint() {
     assert_eq!(killed.replayed_chunks, 0);
     assert_eq!(jsonl_lines(&jsonl), 2 * CHUNK);
 
-    // Resubmit the same job: the two completed chunks replay from the
-    // checkpoint, the rest dock live, and the final ranking is
-    // identical to an uninterrupted sequential run.
+    // Resubmit the same job under a *different* chunk policy: the two
+    // completed chunks replay from the checkpoint (each record knows its
+    // own size), the rest dock live in adaptively-sized chunks, and the
+    // final ranking is still bit-identical to an uninterrupted
+    // sequential run — per-ligand seeds are keyed on the global index,
+    // never on chunk boundaries.
     let mut second = spec("resumable");
+    second.campaign.chunk = ChunkPolicy::Adaptive {
+        target: std::time::Duration::from_millis(25),
+    };
     second.jsonl = Some(jsonl.clone());
     second.checkpoint = Some(ckpt.clone());
     let resumed = service.submit(second).unwrap().wait();
 
     assert_eq!(resumed.state, JobState::Completed);
     assert_eq!(resumed.replayed_chunks, 2);
-    assert_eq!(resumed.chunks_done, N_LIGANDS / CHUNK);
+    assert!(
+        resumed.chunks_done >= 3,
+        "two replayed chunks plus at least one live chunk"
+    );
     assert_eq!(resumed.ligands_done, N_LIGANDS);
     assert!(
         resumed.grid_cache_hit,
@@ -247,6 +264,149 @@ fn cancelled_job_resumes_from_its_checkpoint() {
     service.shutdown();
     std::fs::remove_file(&jsonl).ok();
     std::fs::remove_file(&ckpt).ok();
+}
+
+/// The acceptance scenario for per-job SIMD pinning: two concurrent
+/// jobs pinned to *different* levels against the same receptor must get
+/// distinct `(fingerprint, dims, level)` cache entries — neither job
+/// reads grids built with the other's instruction set — while their
+/// rankings agree across levels within fast-math tolerance.
+#[test]
+fn jobs_pinned_to_different_levels_get_distinct_grids_and_agreeing_rankings() {
+    let levels = SimdLevel::available();
+    if levels.len() < 2 {
+        eprintln!("skipping: host offers only {levels:?}");
+        return;
+    }
+    let (lo, hi) = (levels[0], *levels.last().unwrap());
+
+    let service = ScreenService::start(ServeConfig {
+        total_threads: 2,
+        job_slots: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+    });
+    let submit = |level: SimdLevel| {
+        let mut s = spec(&format!("pinned-{level}"));
+        s.campaign.backend = BackendPolicy::Pinned(level);
+        service.submit(s).unwrap()
+    };
+    let a = submit(lo);
+    let b = submit(hi);
+    let oa = a.wait();
+    let ob = b.wait();
+
+    assert_eq!(oa.state, JobState::Completed);
+    assert_eq!(ob.state, JobState::Completed);
+
+    // Distinct (fingerprint, level) entries: two builds, zero sharing.
+    let stats = service.stats();
+    assert_eq!(stats.cache.misses, 2, "each level builds its own grids");
+    assert_eq!(stats.cache.hits, 0);
+    assert_eq!(stats.cache.entries, 2);
+
+    // Same campaign, different instruction sets: identical rankings
+    // within fast-math tolerance.
+    assert_eq!(oa.top.len(), ob.top.len());
+    for (x, y) in oa.top.iter().zip(&ob.top) {
+        assert_eq!(
+            (x.index, &x.name),
+            (y.index, &y.name),
+            "{lo} and {hi} must rank the same ligands"
+        );
+        let tol = 5e-3 * x.score.abs().max(1.0);
+        assert!(
+            (x.score - y.score).abs() <= tol,
+            "{}: {} vs {}",
+            x.name,
+            x.score,
+            y.score
+        );
+    }
+
+    // And each pinned job reproduces the core screen_campaign path run
+    // from the very same spec — one workload description, two entry
+    // points, bit-identical results.
+    let mut pinned = campaign("core-twin");
+    pinned.backend = BackendPolicy::Pinned(lo);
+    for (got, want) in oa.top.iter().zip(&reference_top_for(&pinned)) {
+        assert_eq!((got.index, &got.name, got.score), (want.0, &want.1, want.2));
+    }
+
+    service.shutdown();
+}
+
+/// The acceptance scenario for early termination: a `RankingStable`
+/// campaign stops before exhausting its input, reports Completed +
+/// stopped_early (via the ChunkProgress::cancel hook), and its ranking
+/// is bit-identical to what `core::screen_campaign` produces for the
+/// same spec — and to a full run over the same prefix of the batch.
+#[test]
+fn ranking_stable_policy_stops_the_job_early_with_a_consistent_ranking() {
+    // A longer batch than the other tests use: the top-5 needs room to
+    // go quiet for two consecutive chunks before the input runs out.
+    const N_EARLY: usize = 60;
+    let stop = StopPolicy::RankingStable {
+        window: 2,
+        epsilon: 0.0,
+    };
+    let mut early_campaign = campaign("early-stop");
+    early_campaign.chunk = ChunkPolicy::Fixed(4);
+    early_campaign.stop = stop;
+
+    let service = ScreenService::start(ServeConfig {
+        total_threads: 2,
+        job_slots: 1,
+        queue_capacity: 4,
+        cache_capacity: 2,
+    });
+    let mut s = JobSpec {
+        receptor: receptor(),
+        ligands: LigandSource::synth(SEED, N_EARLY),
+        ..JobSpec::from(early_campaign.clone())
+    };
+    s.progress = None;
+    let outcome = service.submit(s).unwrap().wait();
+    service.shutdown();
+
+    assert_eq!(
+        outcome.state,
+        JobState::Completed,
+        "a policy stop is a success, not a cancellation"
+    );
+    assert!(outcome.stopped_early, "the ranking must stabilize early");
+    assert!(
+        outcome.ligands_done < N_EARLY,
+        "stopped after {} of {N_EARLY} ligands",
+        outcome.ligands_done
+    );
+
+    // The core path consuming the same spec stops at the same place
+    // with the same ranking.
+    let rec = receptor();
+    let grids = GridBuilder::new(&rec, dims()).build_simd(early_campaign.grid_level());
+    let ligands = mediate_like_set(SEED, N_EARLY);
+    let core_summary = screen_campaign(&grids, &ligands, &early_campaign, 1);
+    assert_eq!(core_summary.results.len(), outcome.ligands_done);
+    let core_top = core_summary.top_k(TOP_K);
+    assert_eq!(outcome.top.len(), core_top.len());
+    for (got, &want) in outcome.top.iter().zip(&core_top) {
+        assert_eq!(got.index, want);
+        assert_eq!(got.score, core_summary.results[want].best_score.unwrap());
+    }
+
+    // Early termination discards nothing: the ranking equals a full
+    // (non-stopping) run over the prefix that was actually docked.
+    let full = CampaignSpec {
+        stop: StopPolicy::Complete,
+        ..early_campaign
+    };
+    let prefix = screen_campaign(&grids, &ligands[..outcome.ligands_done], &full, 1);
+    let prefix_top = prefix.top_k(TOP_K);
+    for (got, &want) in outcome.top.iter().zip(&prefix_top) {
+        assert_eq!(got.index, want);
+        assert_eq!(got.score, prefix.results[want].best_score.unwrap());
+    }
 }
 
 #[test]
@@ -280,10 +440,11 @@ fn queue_applies_backpressure_and_priority_order() {
             }
         })
     };
-    let small = |name: &str| JobSpec {
-        ligands: LigandSource::synth(SEED, 2),
-        chunk_size: 4,
-        ..spec(name)
+    let small = |name: &str| {
+        let mut s = spec(name);
+        s.ligands = LigandSource::synth(SEED, 2);
+        s.campaign.chunk = ChunkPolicy::Fixed(4);
+        s
     };
     let mut blocker = small("blocker");
     blocker.progress = Some(gate);

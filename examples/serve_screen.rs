@@ -3,13 +3,19 @@
 //! dominant fixed cost, chunks streaming through the work-stealing pool,
 //! and per-job top-k rankings folding incrementally.
 //!
+//! Each job is a `Campaign::builder()` spec bound to the service by
+//! `JobSpec::from`. The last job shows two policies the campaign API
+//! adds: it may stop early once its ranking stabilizes, and jobs could
+//! equally pin distinct SIMD levels (`.pin_level(...)`) and still share
+//! this node — the grid cache keys entries per level.
+//!
 //! ```text
 //! cargo run --release --example serve_screen [n_ligands_per_job] [jobs]
 //! ```
 
 use std::sync::Arc;
 
-use mudock::core::{DockParams, GaParams};
+use mudock::core::{Campaign, ChunkPolicy, StopPolicy};
 use mudock::grids::GridDims;
 use mudock::mol::Vec3;
 use mudock::serve::{JobSpec, LigandSource, Priority, ScreenService, ServeConfig};
@@ -30,36 +36,40 @@ fn main() {
     // One hot target shared by every job: only the first build pays.
     let receptor = Arc::new(mudock::molio::synthetic_receptor(0xcafe, 300, 9.0));
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
-    let params = DockParams {
-        ga: GaParams {
-            population: 50,
-            generations: 60,
-            ..Default::default()
-        },
-        seed: 7,
-        search_radius: Some(5.0),
-        ..Default::default()
-    };
 
     let t0 = std::time::Instant::now();
     let handles: Vec<_> = (0..jobs)
         .map(|j| {
+            let mut builder = Campaign::builder()
+                .name(format!("campaign-{j}"))
+                .population(50)
+                .generations(60)
+                .seed(7)
+                .search_radius(5.0)
+                .top_k(5)
+                .chunk(ChunkPolicy::Fixed(8))
+                .grid_dims(dims);
+            // The last job demonstrates early termination: once its
+            // top-5 has held still for two consecutive chunks, the stop
+            // policy cancels the rest of its stream.
+            if j == jobs - 1 {
+                builder = builder.stop(StopPolicy::RankingStable {
+                    window: 2,
+                    epsilon: 0.0,
+                });
+            }
+            let campaign = builder.build().expect("a valid demo campaign");
             service
                 .submit(JobSpec {
-                    name: format!("campaign-{j}"),
                     receptor: Arc::clone(&receptor),
                     ligands: LigandSource::synth(0xf00d + j as u64, n_ligands),
-                    params: params.clone(),
-                    top_k: 5,
-                    chunk_size: 8,
-                    grid_dims: Some(dims),
                     // The last-submitted job jumps the queue.
                     priority: if j == jobs - 1 {
                         Priority::High
                     } else {
                         Priority::Normal
                     },
-                    ..JobSpec::default()
+                    ..JobSpec::from(campaign)
                 })
                 .expect("service accepts the demo jobs")
         })
@@ -68,9 +78,14 @@ fn main() {
     for handle in handles {
         let o = handle.wait();
         println!(
-            "\n{} ({:?}): {} ligands in {:.2?}, grid {}",
+            "\n{} ({:?}{}): {} ligands in {:.2?}, grid {}",
             o.name,
             o.state,
+            if o.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            },
             o.ligands_done,
             o.elapsed,
             if o.grid_cache_hit {

@@ -123,7 +123,7 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
     }
 }
 
-/// Size specification for [`vec`] (from a range of lengths).
+/// Size specification for [`vec()`](fn@vec) (from a range of lengths).
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -167,7 +167,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

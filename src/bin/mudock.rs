@@ -12,6 +12,15 @@
 //!               [--top K] [--chunk C] [--jsonl DIR] [--checkpoint DIR]
 //! ```
 //!
+//! Every subcommand builds one [`CampaignSpec`](mudock::core::CampaignSpec)
+//! through `Campaign::builder()` from the shared flag set and hands it to
+//! its entry point — `dock_campaign`, `screen_campaign`, or a serve
+//! `JobSpec` — so the CLI, the library, and the service all run from the
+//! same validated description. Invalid values (zero top-k, zero chunks,
+//! negative radii, impossible GA shapes, unsupported SIMD pins) are
+//! rejected by the builder with a typed error and exit code 2; runtime
+//! failures exit 1.
+//!
 //! Argument parsing is hand-rolled (no CLI-crate dependency, matching the
 //! workspace's minimal dependency policy).
 
@@ -19,14 +28,40 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use mudock::core::{
-    screen, Backend, DockParams, DockingEngine, GaParams, LigandPrep, SolisWetsParams,
+    screen_campaign, Backend, BackendPolicy, Campaign, CampaignError, CampaignSpec, ChunkPolicy,
+    DockingEngine, GaParams, LigandPrep, SolisWetsParams, StopPolicy,
 };
 use mudock::grids::{GridBuilder, GridDims};
 use mudock::mol::{Molecule, Vec3};
-use mudock::simd::SimdLevel;
 
 fn usage() -> &'static str {
-    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n\noptions:\n  --backend <reference|autovec|sse2|avx2|avx512>   (default: best available)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --top K           ranking size per job (serve only, default 10)\n  --chunk C         ligands per chunk (serve only, default 16)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)"
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)"
+}
+
+/// CLI failure with its exit code: usage/validation errors (exit 2,
+/// including every typed [`CampaignError`]) versus runtime errors
+/// (exit 1).
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<CampaignError> for CliError {
+    fn from(e: CampaignError) -> Self {
+        CliError::Usage(format!("invalid campaign: {e}"))
+    }
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::Run(e)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(e: &str) -> Self {
+        CliError::Run(e.into())
+    }
 }
 
 /// Split argv into flags (`--k v` / bare `--k`) and positionals.
@@ -52,15 +87,15 @@ fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     (flags, positional)
 }
 
-fn load(path: &str) -> Result<Molecule, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    mudock::molio::parse(&text).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Molecule, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    mudock::molio::parse(&text).map_err(|e| CliError::Run(format!("{path}: {e}")))
 }
 
-fn cmd_info(positional: &[String]) -> Result<(), String> {
+fn cmd_info(positional: &[String]) -> Result<(), CliError> {
     let path = positional.first().ok_or("info needs a file")?;
     let mol = load(path)?;
-    mol.validate().map_err(|e| e.to_string())?;
+    mol.validate().map_err(|e| CliError::Run(e.to_string()))?;
     let topo = mudock::mol::Topology::build(&mol);
     println!(
         "name:            {}",
@@ -91,46 +126,89 @@ fn cmd_info(positional: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn backend_from(flags: &HashMap<String, String>) -> Result<Backend, String> {
-    match flags.get("backend") {
-        None => Ok(Backend::Explicit(SimdLevel::detect())),
-        Some(name) => Backend::parse(name).ok_or_else(|| format!("unknown backend '{name}'")),
-    }
-}
-
 fn num<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --{key} value '{v}'"))),
     }
 }
 
-fn params_from(flags: &HashMap<String, String>) -> Result<DockParams, String> {
-    Ok(DockParams {
-        ga: GaParams {
+/// The one campaign every subcommand runs from, built and validated
+/// from the shared flag set.
+fn campaign_from(flags: &HashMap<String, String>, name: &str) -> Result<CampaignSpec, CliError> {
+    let mut builder = Campaign::builder()
+        .name(name)
+        .ga(GaParams {
             population: num(flags, "population", 100usize)?,
             generations: num(flags, "generations", 150usize)?,
             ..Default::default()
-        },
-        seed: num(flags, "seed", 42u64)?,
-        backend: backend_from(flags)?,
-        search_radius: flags
-            .get("radius")
-            .map(|v| v.parse().map_err(|_| format!("bad --radius '{v}'")))
-            .transpose()?,
-        local_search: if flags.contains_key("local-search") {
-            Some(SolisWetsParams::default())
-        } else {
-            None
-        },
-    })
+        })
+        .seed(num(flags, "seed", 42u64)?)
+        .top_k(num(flags, "top", 10usize)?);
+    if let Some(bname) = flags.get("backend") {
+        let backend = Backend::parse(bname)
+            .ok_or_else(|| CliError::Usage(format!("unknown backend '{bname}'")))?;
+        builder = builder.backend(BackendPolicy::Fixed(backend));
+    }
+    if flags.contains_key("radius") {
+        builder = builder.search_radius(num(flags, "radius", 0.0f32)?);
+    }
+    if flags.contains_key("local-search") {
+        builder = builder.local_search(SolisWetsParams::default());
+    }
+    builder = builder.chunk(if flags.contains_key("chunk-target-ms") {
+        ChunkPolicy::Adaptive {
+            target: std::time::Duration::from_millis(num(flags, "chunk-target-ms", 1000u64)?),
+        }
+    } else {
+        ChunkPolicy::Fixed(num(flags, "chunk", 16usize)?)
+    });
+    let stop_flags: Vec<&str> = ["max-evals", "deadline-s", "stable-window"]
+        .into_iter()
+        .filter(|k| flags.contains_key(*k))
+        .collect();
+    if stop_flags.len() > 1 {
+        return Err(CliError::Usage(format!(
+            "choose one stop policy: --{} conflict",
+            stop_flags.join(" and --")
+        )));
+    }
+    if flags.contains_key("stable-eps") && !flags.contains_key("stable-window") {
+        return Err(CliError::Usage("--stable-eps needs --stable-window".into()));
+    }
+    match stop_flags.first().copied() {
+        Some("max-evals") => {
+            builder = builder.stop(StopPolicy::MaxEvaluations(num(flags, "max-evals", 0u64)?));
+        }
+        Some("deadline-s") => {
+            let secs: f64 = num(flags, "deadline-s", 0.0f64)?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(CliError::Usage(format!(
+                    "bad --deadline-s value '{secs}': must be a non-negative number"
+                )));
+            }
+            builder = builder.stop(StopPolicy::Deadline(std::time::Duration::from_secs_f64(
+                secs,
+            )));
+        }
+        Some("stable-window") => {
+            builder = builder.stop(StopPolicy::RankingStable {
+                window: num(flags, "stable-window", 0usize)?,
+                epsilon: num(flags, "stable-eps", 0.0f32)?,
+            });
+        }
+        _ => {}
+    }
+    Ok(builder.build()?)
 }
 
-fn complex_from(flags: &HashMap<String, String>) -> Result<(Molecule, Molecule), String> {
+fn complex_from(flags: &HashMap<String, String>) -> Result<(Molecule, Molecule), CliError> {
     if flags.contains_key("demo") {
         let (r, l) = mudock::molio::complex_1a30_like();
         return Ok((r, l));
@@ -140,25 +218,27 @@ fn complex_from(flags: &HashMap<String, String>) -> Result<(Molecule, Molecule),
     Ok((r, l))
 }
 
-fn build_grids(receptor: &Molecule, ligands: &[&Molecule]) -> mudock::grids::GridSet {
+fn build_grids(
+    receptor: &Molecule,
+    ligands: &[&Molecule],
+    spec: &CampaignSpec,
+) -> mudock::grids::GridSet {
     let mut types: Vec<mudock::ff::AtomType> = ligands
         .iter()
         .flat_map(|l| l.atoms.iter().map(|a| a.ty))
         .collect();
     types.sort_unstable();
     types.dedup();
-    // Box centered on the receptor pocket, covering the receptor span.
-    let center = receptor.centroid();
-    let extent = (receptor.radius() + 3.0).clamp(8.0, 14.0);
-    let dims = GridDims::centered(center, extent, 0.55);
-    GridBuilder::new(receptor, dims)
+    // Box centered on the receptor pocket, covering the receptor span,
+    // built at the campaign's pinned (or detected) SIMD level.
+    GridBuilder::new(receptor, spec.dims_for(receptor))
         .with_types(&types)
-        .build_simd(SimdLevel::detect())
+        .build_simd(spec.grid_level())
 }
 
-fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (receptor, ligand) = complex_from(flags)?;
-    let params = params_from(flags)?;
+    let spec = campaign_from(flags, "dock")?;
     eprintln!(
         "docking {} ({} atoms) into {} ({} atoms) with backend {}…",
         if ligand.name.is_empty() {
@@ -173,13 +253,15 @@ fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
             &receptor.name
         },
         receptor.atoms.len(),
-        params.backend
+        spec.backend.resolve()
     );
-    let grids = build_grids(&receptor, &[&ligand]);
+    let grids = build_grids(&receptor, &[&ligand], &spec);
     let engine = DockingEngine::new(&grids).map_err(|e| e.to_string())?;
     let prep = LigandPrep::new(ligand).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
-    let report = engine.dock(&prep, &params).map_err(|e| e.to_string())?;
+    let report = engine
+        .dock_campaign(&prep, &spec)
+        .map_err(|e| e.to_string())?;
     println!(
         "best score: {:.3} kcal/mol  ({} evaluations in {:.2?})",
         report.best_score,
@@ -215,29 +297,40 @@ fn cmd_dock(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// The `N` of `--demo N`: `default` for a bare `--demo`, an error (not
 /// a silent fallback) when a value is present but unparsable.
-fn demo_count(flags: &HashMap<String, String>, default: usize) -> Result<usize, String> {
+fn demo_count(flags: &HashMap<String, String>, default: usize) -> Result<usize, CliError> {
     match flags.get("demo").map(String::as_str) {
         None | Some("") => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad --demo value '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --demo value '{v}'"))),
     }
 }
 
-fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
+/// A demo campaign: the shared flags, plus a snappy generation count
+/// unless the user asked for one explicitly.
+fn demo_campaign(flags: &HashMap<String, String>, name: &str) -> Result<CampaignSpec, CliError> {
+    let mut spec = campaign_from(flags, name)?;
+    if !flags.contains_key("generations") {
+        spec.ga.generations = 60; // keep the demo snappy
+    }
+    Ok(spec)
+}
+
+fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if !flags.contains_key("demo") {
-        return Err("screen currently supports --demo N (synthetic batch)".into());
+        return Err(CliError::Usage(
+            "screen currently supports --demo N (synthetic batch)".into(),
+        ));
     }
     let n = demo_count(flags, 16)?;
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
-    let mut params = params_from(flags)?;
-    if !flags.contains_key("generations") {
-        params.ga.generations = 60; // keep the demo snappy
-    }
+    let mut spec = demo_campaign(flags, "screen-demo")?;
+    spec.grid_dims = Some(GridDims::centered(Vec3::ZERO, 11.0, 0.6));
     let receptor = mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0);
-    let ligands = mudock::molio::mediate_like_set(params.seed, n);
+    let ligands = mudock::molio::mediate_like_set(spec.seed, n);
     eprintln!("screening {n} synthetic ligands on {threads} threads…");
-    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
-    let grids = GridBuilder::new(&receptor, dims).build_simd(SimdLevel::detect());
-    let summary = screen(&grids, &ligands, &params, threads);
+    let grids = GridBuilder::new(&receptor, spec.dims_for(&receptor)).build_simd(spec.grid_level());
+    let summary = screen_campaign(&grids, &ligands, &spec, threads);
     println!(
         "{} ligands in {:.2?} → {:.1} ligands/s",
         summary.results.len(),
@@ -245,7 +338,7 @@ fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
         summary.throughput
     );
     println!("\nrank  ligand                              score (kcal/mol)");
-    for (rank, idx) in summary.top_k(10.min(n)).into_iter().enumerate() {
+    for (rank, idx) in summary.top_k(spec.top_k.min(n)).into_iter().enumerate() {
         let r = &summary.results[idx];
         println!(
             "{:>4}  {:<34} {:>10.3}",
@@ -260,22 +353,23 @@ fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Demo of the screening service: J concurrent jobs against one shared
 /// synthetic receptor, showing the grid cache, fair thread sharing, and
 /// incremental top-k sinks in action.
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use mudock::serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
     use std::sync::Arc;
 
     if !flags.contains_key("demo") {
-        return Err("serve currently supports --demo N (synthetic batch per job)".into());
+        return Err(CliError::Usage(
+            "serve currently supports --demo N (synthetic batch per job)".into(),
+        ));
     }
     let n = demo_count(flags, 32)?;
     let jobs: usize = num(flags, "jobs", 2usize)?.max(1);
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
-    let top_k = num(flags, "top", 10usize)?;
-    let chunk_size = num(flags, "chunk", 16usize)?.max(1);
-    let mut params = params_from(flags)?;
-    if !flags.contains_key("generations") {
-        params.ga.generations = 60; // keep the demo snappy
-    }
+    let base = {
+        let mut c = demo_campaign(flags, "demo")?;
+        c.grid_dims = Some(GridDims::centered(Vec3::ZERO, 11.0, 0.6));
+        c
+    };
 
     let service = ScreenService::start(ServeConfig {
         total_threads: threads,
@@ -283,21 +377,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         ..ServeConfig::default()
     });
     let receptor = Arc::new(mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0));
-    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
 
     eprintln!("serving {jobs} jobs × {n} ligands on {threads} threads…");
     let t0 = std::time::Instant::now();
     let handles: Vec<_> = (0..jobs)
         .map(|j| {
-            let mut spec = JobSpec {
+            let campaign = CampaignSpec {
                 name: format!("demo-{j}"),
+                ..base.clone()
+            };
+            let mut spec = JobSpec {
                 receptor: Arc::clone(&receptor),
-                ligands: LigandSource::synth(params.seed.wrapping_add(j as u64), n),
-                params: params.clone(),
-                top_k,
-                chunk_size,
-                grid_dims: Some(dims),
-                ..JobSpec::default()
+                ligands: LigandSource::synth(base.seed.wrapping_add(j as u64), n),
+                ..JobSpec::from(campaign)
             };
             if let Some(dir) = flags.get("jsonl") {
                 spec.jsonl = Some(std::path::Path::new(dir).join(format!("demo-{j}.jsonl")));
@@ -305,16 +397,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             if let Some(dir) = flags.get("checkpoint") {
                 spec.checkpoint = Some(std::path::Path::new(dir).join(format!("demo-{j}.ckpt")));
             }
-            service.submit(spec).map_err(|e| e.to_string())
+            service
+                .submit(spec)
+                .map_err(|e| CliError::Run(e.to_string()))
         })
         .collect::<Result<_, _>>()?;
 
     for handle in handles {
         let o = handle.wait();
         println!(
-            "job {:<10} {:?}  {} ligands in {:.2?}  grid {}  best:",
+            "job {:<10} {:?}{}  {} ligands in {:.2?}  grid {}  best:",
             o.name,
             o.state,
+            if o.stopped_early { " (early stop)" } else { "" },
             o.ligands_done,
             o.elapsed,
             if o.grid_cache_hit {
@@ -349,7 +444,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let (flags, positional) = parse_args(&args[1..]);
     let result = match cmd.as_str() {
@@ -361,11 +456,18 @@ fn main() -> ExitCode {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

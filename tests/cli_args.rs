@@ -1,0 +1,127 @@
+//! CLI argument handling: malformed or invalid campaign values must
+//! surface a typed validation message on stderr and exit with code 2
+//! (usage error) — never a panic, a silent default, or a generic
+//! failure. Runs the real `mudock` binary.
+
+use std::process::{Command, Output};
+
+fn mudock(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mudock"))
+        .args(args)
+        .output()
+        .expect("the mudock binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn invalid_campaign_values_exit_2_with_a_typed_message() {
+    // (args, fragment the validation message must contain)
+    let cases: &[(&[&str], &str)] = &[
+        (&["serve", "--demo", "4", "--top", "0"], "top-k"),
+        (&["serve", "--demo", "4", "--chunk", "0"], "chunk"),
+        (&["screen", "--demo", "4", "--top", "0"], "top-k"),
+        (&["screen", "--demo", "4", "--chunk", "0"], "chunk"),
+        (&["dock", "--demo", "--radius", "-3"], "radius"),
+        (&["dock", "--demo", "--population", "1"], "population"),
+        (&["dock", "--demo", "--generations", "0"], "generations"),
+        (&["screen", "--demo", "4", "--stable-window", "0"], "window"),
+        (&["screen", "--demo", "4", "--max-evals", "0"], "budget"),
+        (&["screen", "--demo", "4", "--chunk", "999999"], "chunk"),
+        // Negative/non-finite deadlines must be usage errors, not the
+        // Duration::from_secs_f64 panic.
+        (&["screen", "--demo", "4", "--deadline-s", "-1"], "deadline"),
+        (
+            &["screen", "--demo", "4", "--deadline-s", "nan"],
+            "deadline",
+        ),
+        // Conflicting or orphaned stop flags are rejected, not silently
+        // resolved by precedence.
+        (
+            &[
+                "screen",
+                "--demo",
+                "4",
+                "--max-evals",
+                "10",
+                "--deadline-s",
+                "5",
+            ],
+            "one stop policy",
+        ),
+        (
+            &["screen", "--demo", "4", "--stable-eps", "0.1"],
+            "--stable-window",
+        ),
+    ];
+    for (args, fragment) in cases {
+        let out = mudock(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {}",
+            stderr(&out)
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains("error:") && err.to_lowercase().contains(fragment),
+            "{args:?} stderr must mention {fragment:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_numbers_exit_2_naming_the_flag() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["serve", "--demo", "4", "--top", "abc"], "--top"),
+        (&["serve", "--demo", "4", "--chunk", "1.5"], "--chunk"),
+        (&["screen", "--demo", "4", "--seed", "0x"], "--seed"),
+        (&["screen", "--demo", "nope"], "--demo"),
+        (&["dock", "--demo", "--backend", "neon"], "backend"),
+    ];
+    for (args, flag) in cases {
+        let out = mudock(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains(flag),
+            "{args:?} stderr must name {flag}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_commands_and_missing_input_are_usage_errors() {
+    let out = mudock(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = mudock(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+}
+
+#[test]
+fn valid_demo_run_succeeds_quickly() {
+    let out = mudock(&[
+        "screen",
+        "--demo",
+        "2",
+        "--population",
+        "8",
+        "--generations",
+        "3",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ligands"), "stdout: {stdout}");
+}

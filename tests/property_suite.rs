@@ -128,6 +128,51 @@ proptest! {
             }
         }
     }
+
+    /// `ScreenSummary::top_k` (the streaming O(k) accumulator) must match
+    /// the obvious reference: stable-sort every scored ligand and
+    /// truncate. Scores are quantized to force plenty of exact ties, and
+    /// ties must rank by batch index (the stable sort's order).
+    #[test]
+    fn screen_summary_top_k_matches_sort_and_truncate(
+        cells in prop::collection::vec((0u32..6, 0u32..5), 0..30),
+        k in 0usize..12,
+    ) {
+        use mudock::core::{KernelStats, ScreenResult, ScreenSummary};
+
+        let summary = ScreenSummary {
+            results: cells
+                .iter()
+                .enumerate()
+                .map(|(i, &(q, tag))| ScreenResult {
+                    name: format!("lig{i}"),
+                    // tag 0 → a failed ligand (no score); quantized
+                    // scores (multiples of 0.5) collide constantly.
+                    best_score: (tag != 0).then_some(q as f32 * 0.5 - 1.5),
+                    evaluations: 0,
+                    stats: KernelStats::default(),
+                })
+                .collect(),
+            elapsed: std::time::Duration::from_millis(1),
+            threads: 1,
+            throughput: 0.0,
+        };
+
+        // Reference: full stable sort by score, failures dropped,
+        // truncated to k. A stable sort on (score only) preserves batch
+        // order among equal scores — exactly the documented tie rule.
+        let mut reference: Vec<(f32, usize)> = summary
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.best_score.map(|s| (s, i)))
+            .collect();
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+        reference.truncate(k);
+        let want: Vec<usize> = reference.into_iter().map(|(_, i)| i).collect();
+
+        prop_assert_eq!(summary.top_k(k), want);
+    }
 }
 
 #[test]
