@@ -1,0 +1,119 @@
+//! The CI bench-regression gate: compare a fresh `BENCH_serve.json`
+//! against the committed baseline and fail on regression.
+//!
+//! ```text
+//! cargo run --release -p mudock-bench --bin bench_gate \
+//!     <current.json> <baseline.json> [tolerance]
+//! ```
+//!
+//! Exits non-zero when any throughput metric in `current` falls more
+//! than `tolerance` (default 0.25, i.e. ±25 %) *below* its baseline —
+//! speedups never fail the gate, they are reported so the baseline can
+//! be ratcheted. Metrics compared: top-level `ligands_per_sec` (the
+//! in-process service path) and `net.ligands_per_sec` (the loopback
+//! HTTP path) when both files carry it; a metric present in only one
+//! file is reported and skipped, so adding a new datapoint does not
+//! break the gate on the commit that introduces it.
+//!
+//! The JSON is read with `mudock_serve::wire::parse` — the same
+//! dependency-free parser the network frontend trusts with socket
+//! bytes.
+
+use std::process::ExitCode;
+
+use mudock_serve::wire::{self, Json};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    wire::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Fetch a dotted metric path (e.g. `net.ligands_per_sec`).
+fn metric(v: &Json, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    match cur {
+        Json::Num(n) => n.as_f64(),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(b)) => (c.as_str(), b.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate <current.json> <baseline.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = match args.get(2).map(|t| t.parse()) {
+        None => 0.25,
+        Some(Ok(t)) if (0.0..1.0).contains(&t) => t,
+        Some(_) => {
+            eprintln!("tolerance must be a fraction in [0, 1), e.g. 0.25");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Throughput only compares like with like: a current run on a
+    // different worker count than the baseline would make the floor
+    // meaningless (half the threads ≈ half the ligands/sec), silently
+    // neutering the gate. That is a harness misconfiguration (exit 2),
+    // not a regression (exit 1) — pin MUDOCK_THREADS to the baseline's
+    // `threads` value or re-record the baseline.
+    match (metric(&current, "threads"), metric(&baseline, "threads")) {
+        (Some(c), Some(b)) if c != b => {
+            eprintln!(
+                "bench_gate: current ran on {c} thread(s) but the baseline on {b}; \
+                 the comparison would be meaningless (set MUDOCK_THREADS={b} or \
+                 re-record the baseline)"
+            );
+            return ExitCode::from(2);
+        }
+        _ => {}
+    }
+
+    let mut failed = false;
+    for path in ["ligands_per_sec", "net.ligands_per_sec"] {
+        match (metric(&current, path), metric(&baseline, path)) {
+            (Some(cur), Some(base)) => {
+                let floor = base * (1.0 - tolerance);
+                let delta = 100.0 * (cur - base) / base.max(1e-9);
+                if cur < floor {
+                    eprintln!(
+                        "FAIL {path}: {cur:.2} is {delta:+.1} % vs baseline {base:.2} \
+                         (floor {floor:.2} at ±{:.0} % tolerance)",
+                        100.0 * tolerance
+                    );
+                    failed = true;
+                } else {
+                    eprintln!("ok   {path}: {cur:.2} vs baseline {base:.2} ({delta:+.1} %)");
+                }
+            }
+            (Some(cur), None) => {
+                eprintln!("new  {path}: {cur:.2} (no baseline yet; skipped)");
+            }
+            (None, Some(base)) => {
+                eprintln!("gone {path}: baseline {base:.2} has no current value (skipped)");
+            }
+            (None, None) => {}
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: throughput regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,23 +4,104 @@
 //! serve-layer optimization is measured against.
 //!
 //! ```text
-//! cargo run --release -p mudock-bench --bin serve_throughput [ligands_per_job] [jobs]
+//! cargo run --release -p mudock-bench --bin serve_throughput [ligands_per_job] [jobs] [--net]
 //! ```
+//!
+//! With `--net`, the same campaigns are additionally submitted over a
+//! loopback TCP socket through the HTTP frontend (`serve::net`) and
+//! polled to completion with the blocking client, adding a
+//! `"net": {...}` datapoint so the network path's overhead is tracked
+//! by the same baseline file (and the same CI regression gate).
 //!
 //! Thread count follows `MUDOCK_THREADS` (see `mudock_pool`), so CI runs
 //! are reproducible.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use mudock_core::{Campaign, ChunkPolicy};
+use mudock_core::{Campaign, CampaignSpec, ChunkPolicy};
 use mudock_grids::GridDims;
 use mudock_mol::Vec3;
-use mudock_serve::{JobSpec, JobState, LigandSource, ScreenService, ServeConfig};
+use mudock_serve::net::client;
+use mudock_serve::{
+    JobSpec, JobState, LigandSource, NetConfig, NetServer, Priority, ReceptorSource, ScreenService,
+    ServeConfig,
+};
+
+fn bench_campaign(j: usize, dims: GridDims) -> CampaignSpec {
+    Campaign::builder()
+        .name(format!("bench-{j}"))
+        .population(25)
+        .generations(30)
+        .seed(0xbe2c)
+        .search_radius(5.0)
+        .top_k(10)
+        .chunk(ChunkPolicy::Fixed(8))
+        .grid_dims(dims)
+        .build()
+        .expect("the bench campaign is valid")
+}
+
+/// The loopback-socket leg: same jobs, but submitted and polled through
+/// the HTTP frontend. Returns `(elapsed_s, ligands_per_sec)`.
+fn net_leg(n_ligands: usize, jobs: usize, threads: usize, dims: GridDims) -> (f64, f64) {
+    let service = Arc::new(ScreenService::start(ServeConfig {
+        total_threads: threads,
+        job_slots: 2,
+        ..ServeConfig::default()
+    }));
+    let results_dir = std::env::temp_dir().join(format!("mudock-bench-net-{}", std::process::id()));
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetConfig {
+            results_dir: results_dir.clone(),
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr().to_string();
+    let receptor = ReceptorSource::Synth {
+        seed: 0xbe2c,
+        atoms: 300,
+        radius: 9.0,
+    };
+
+    let t0 = std::time::Instant::now();
+    let ids: Vec<u64> = (0..jobs)
+        .map(|j| {
+            client::submit(
+                &addr,
+                &bench_campaign(j, dims),
+                &receptor,
+                &LigandSource::synth(j as u64, n_ligands),
+                Priority::Normal,
+            )
+            .expect("bench submission over loopback")
+        })
+        .collect();
+    for id in ids {
+        let status = client::wait(&addr, id, Duration::from_millis(5)).expect("poll to terminal");
+        assert_eq!(status.state, JobState::Completed, "net bench job failed");
+        assert_eq!(status.ligands_done, n_ligands);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    service.shutdown();
+    std::fs::remove_dir_all(&results_dir).ok();
+    let total = (jobs * n_ligands) as f64;
+    (elapsed, total / elapsed.max(1e-9))
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n_ligands: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(48);
-    let jobs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let with_net = args.iter().any(|a| a == "--net");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let n_ligands: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    let jobs: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let threads = mudock_pool::default_threads();
 
     let service = ScreenService::start(ServeConfig {
@@ -37,22 +118,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     let handles: Vec<_> = (0..jobs)
         .map(|j| {
-            let campaign = Campaign::builder()
-                .name(format!("bench-{j}"))
-                .population(25)
-                .generations(30)
-                .seed(0xbe2c)
-                .search_radius(5.0)
-                .top_k(10)
-                .chunk(ChunkPolicy::Fixed(8))
-                .grid_dims(dims)
-                .build()
-                .expect("the bench campaign is valid");
             service
                 .submit(JobSpec {
                     receptor: Arc::clone(&receptor),
                     ligands: LigandSource::synth(j as u64, n_ligands),
-                    ..JobSpec::from(campaign)
+                    ..JobSpec::from(bench_campaign(j, dims))
                 })
                 .expect("bench jobs fit the queue")
         })
@@ -66,11 +136,17 @@ fn main() {
 
     let total = (jobs * n_ligands) as f64;
     let ligands_per_sec = total / elapsed.as_secs_f64().max(1e-9);
-    let json = format!(
+
+    // The loopback-socket datapoint: identical work, plus HTTP framing,
+    // JSON codec, and polling. The gap between the two numbers *is* the
+    // frontend overhead.
+    let net = with_net.then(|| net_leg(n_ligands, jobs, threads, dims));
+
+    let mut json = format!(
         concat!(
             "{{\"bench\":\"serve_throughput\",\"jobs\":{},\"ligands_per_job\":{},",
             "\"threads\":{},\"elapsed_s\":{:.4},\"ligands_per_sec\":{:.2},",
-            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}}}\n"
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}"
         ),
         jobs,
         n_ligands,
@@ -81,6 +157,16 @@ fn main() {
         stats.cache.misses,
         stats.cache.hit_rate(),
     );
+    if let Some((net_elapsed, net_lps)) = net {
+        json.push_str(&format!(
+            ",\"net\":{{\"elapsed_s\":{net_elapsed:.4},\"ligands_per_sec\":{net_lps:.2}}}"
+        ));
+        eprintln!(
+            "network path: {net_lps:.1} ligands/s ({:.1} % of in-process)",
+            100.0 * net_lps / ligands_per_sec.max(1e-9)
+        );
+    }
+    json.push_str("}\n");
     print!("{json}");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     eprintln!(

@@ -96,9 +96,12 @@ pub enum BackendPolicy {
 
 impl BackendPolicy {
     /// The concrete [`Backend`] this policy scores poses with.
+    /// [`BackendPolicy::Detect`] honors the `MUDOCK_BACKEND`
+    /// environment pin (see [`Backend::auto`]); explicit policies
+    /// always win over the environment.
     pub fn resolve(self) -> Backend {
         match self {
-            BackendPolicy::Detect => Backend::Explicit(SimdLevel::detect()),
+            BackendPolicy::Detect => Backend::auto(),
             BackendPolicy::Fixed(b) => b,
             BackendPolicy::Pinned(l) => Backend::Explicit(l),
         }
@@ -112,7 +115,12 @@ impl BackendPolicy {
     /// reproducibility; [`BackendPolicy::Detect`] takes the host's best.
     pub fn grid_level(self) -> SimdLevel {
         match self {
-            BackendPolicy::Detect => SimdLevel::detect(),
+            BackendPolicy::Detect => match Backend::auto() {
+                Backend::Explicit(l) => l,
+                // An env pin to a scalar arm builds grids at Scalar for
+                // full reproducibility, same as Fixed(Reference/AutoVec).
+                _ => SimdLevel::Scalar,
+            },
             BackendPolicy::Fixed(Backend::Explicit(l)) | BackendPolicy::Pinned(l) => l,
             BackendPolicy::Fixed(_) => SimdLevel::Scalar,
         }
@@ -734,10 +742,14 @@ mod tests {
             BackendPolicy::Pinned(SimdLevel::Scalar).grid_level(),
             SimdLevel::Scalar
         );
-        assert_eq!(
-            BackendPolicy::Detect.resolve(),
-            Backend::Explicit(SimdLevel::detect())
-        );
+        // Detect follows the single auto-resolution point (which itself
+        // honors a MUDOCK_BACKEND env pin, so this holds in CI's
+        // backend matrix too).
+        assert_eq!(BackendPolicy::Detect.resolve(), Backend::auto());
+        match Backend::auto() {
+            Backend::Explicit(l) => assert_eq!(BackendPolicy::Detect.grid_level(), l),
+            _ => assert_eq!(BackendPolicy::Detect.grid_level(), SimdLevel::Scalar),
+        }
         // Every available level is buildable.
         for l in SimdLevel::available() {
             assert!(Campaign::builder().pin_level(l).build().is_ok());

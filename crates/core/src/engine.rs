@@ -59,6 +59,30 @@ impl Backend {
         v.extend(SimdLevel::available().into_iter().map(Backend::Explicit));
         v
     }
+
+    /// The `MUDOCK_BACKEND` environment pin (same names as
+    /// [`Backend::parse`]). CI uses it to run the whole suite once per
+    /// backend in a matrix, so level-specific scoring divergence fails
+    /// there instead of on user hardware. Unparsable values and levels
+    /// the host cannot run are ignored (the pin must never make a
+    /// working binary refuse to start).
+    pub fn from_env() -> Option<Backend> {
+        let v = std::env::var("MUDOCK_BACKEND").ok()?;
+        let b = Backend::parse(&v)?;
+        match b {
+            Backend::Explicit(l) if !l.is_supported() => None,
+            b => Some(b),
+        }
+    }
+
+    /// What an *unpinned* run scores with: the [`Backend::from_env`]
+    /// pin when set, otherwise the widest SIMD level the host supports.
+    /// This is the single resolution point behind
+    /// [`DockParams::default`] and
+    /// [`BackendPolicy::Detect`](crate::campaign::BackendPolicy).
+    pub fn auto() -> Backend {
+        Backend::from_env().unwrap_or(Backend::Explicit(SimdLevel::detect()))
+    }
 }
 
 impl std::fmt::Display for Backend {
@@ -164,7 +188,7 @@ impl Default for DockParams {
         DockParams {
             ga: GaParams::default(),
             seed: 0x6d75_446f_636b,
-            backend: Backend::Explicit(SimdLevel::detect()),
+            backend: Backend::auto(),
             search_radius: None,
             local_search: None,
         }

@@ -27,6 +27,14 @@
 //!   checkpoint file records completed chunks so a killed job resumes
 //!   where it stopped with an identical final ranking.
 //!
+//! A node becomes remotely reachable through the [`net`] frontend: a
+//! dependency-free blocking HTTP/1.1 listener (`POST /jobs`,
+//! `GET /jobs/{id}`, `GET /jobs/{id}/results`, `DELETE /jobs/{id}`,
+//! `GET /healthz`, `GET /stats`) speaking the hand-rolled JSON
+//! [`wire`] codec, with the same bounded-backpressure discipline at
+//! the socket edge (`503` instead of unbounded buffering) and a
+//! matching blocking client in [`net::client`].
+//!
 //! Jobs are described by the campaign API: a
 //! [`CampaignSpec`](mudock_core::CampaignSpec) built through
 //! [`Campaign::builder`](mudock_core::Campaign) carries the GA shape and
@@ -72,9 +80,11 @@
 pub mod cache;
 pub mod ingest;
 pub mod job;
+pub mod net;
 pub mod queue;
 pub mod server;
 pub mod sink;
+pub mod wire;
 
 pub use cache::{CacheStats, GridCache};
 pub use ingest::LigandSource;
@@ -82,6 +92,8 @@ pub use job::{
     ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, Priority, ProgressFn,
     RankedLigand,
 };
+pub use net::{NetConfig, NetServer};
 pub use queue::SubmitError;
 pub use server::{default_dims, ScreenService, ServeConfig, ServiceStats};
 pub use sink::{Checkpoint, JsonlSink};
+pub use wire::{JobStatus, ReceptorSource, WireError};

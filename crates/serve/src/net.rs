@@ -1,0 +1,1146 @@
+//! The network frontend: a dependency-free HTTP/1.1 listener over
+//! [`ScreenService`].
+//!
+//! [`NetServer::bind`] opens a [`std::net::TcpListener`] (no async
+//! runtime, matching the workspace's minimal-dependency policy) and
+//! serves a small JSON API speaking the [`wire`] module's codec:
+//!
+//! | Method   | Path                 | Meaning                                   |
+//! |----------|----------------------|-------------------------------------------|
+//! | `POST`   | `/jobs`              | submit a campaign + receptor + ligands    |
+//! | `GET`    | `/jobs/{id}`         | status / progress / terminal outcome      |
+//! | `GET`    | `/jobs/{id}/results` | the job's per-ligand JSONL stream so far  |
+//! | `DELETE` | `/jobs/{id}`         | request cancellation                      |
+//! | `GET`    | `/healthz`           | liveness (`200 {"ok":true}`)              |
+//! | `GET`    | `/stats`             | service + grid-cache counters             |
+//!
+//! The connection path reuses the service's pool/backpressure
+//! discipline: a fixed set of handler threads pulls accepted
+//! connections from a *bounded* hand-off channel, so a connection burst
+//! beyond [`NetConfig::pending_connections`] is answered `503` by the
+//! accept loop instead of growing memory; job submission uses
+//! [`ScreenService::try_submit`], so a full job queue is `503` too, and
+//! the client retries rather than wedging an executor. Requests are
+//! `Connection: close` — one exchange per connection keeps the server
+//! state machine trivial, and screening jobs are many orders of
+//! magnitude longer than a TCP handshake.
+//!
+//! Error mapping: malformed HTTP or JSON → `400`, unknown job → `404`,
+//! wrong method → `405`, oversized body → `413`, campaign validation
+//! ([`CampaignError`](mudock_core::CampaignError)) → `422`, queue full
+//! or shutting down → `503`.
+//!
+//! The [`client`] module is the matching blocking client (used by the
+//! `mudock submit`/`mudock poll` CLI, the loopback bench mode, and the
+//! end-to-end tests).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::job::{JobHandle, JobId, JobSpec, JobState};
+use crate::queue::SubmitError;
+use crate::server::ScreenService;
+use crate::wire::{self, Json, WireError};
+
+/// Network-frontend sizing. `Default` fits a CI host.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Threads answering requests (each request is short: submit,
+    /// poll, or a results-file read — docking itself runs on the
+    /// service's executors).
+    pub handler_threads: usize,
+    /// Accepted connections waiting for a handler; beyond this the
+    /// accept loop answers `503` immediately (backpressure, not
+    /// buffering).
+    pub pending_connections: usize,
+    /// Request bodies larger than this are refused with `413`.
+    pub max_body_bytes: usize,
+    /// Per-job JSONL result files are written here (served back by
+    /// `GET /jobs/{id}/results`). Created on bind.
+    pub results_dir: PathBuf,
+    /// Finished jobs kept queryable (status + results). When more
+    /// than this many *terminal* jobs are retained, the oldest are
+    /// evicted and their result files deleted, so a long-running
+    /// server does not grow memory and disk per submission. Running
+    /// and queued jobs are never evicted.
+    pub max_retained_jobs: usize,
+    /// Accept `{"path": …}` receptor/ligand sources, which make the
+    /// *server* read the named file. Off by default: on an
+    /// unauthenticated socket they are a filesystem probe (error
+    /// responses would reveal whether arbitrary paths exist). Enable
+    /// only on trusted networks where clients legitimately share the
+    /// server's filesystem; inline `pdbqt` text always works.
+    pub allow_path_sources: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            handler_threads: 4,
+            pending_connections: 16,
+            max_body_bytes: 8 << 20,
+            results_dir: std::env::temp_dir().join(format!("mudock-net-{}", std::process::id())),
+            max_retained_jobs: 256,
+            allow_path_sources: false,
+        }
+    }
+}
+
+/// One submitted job as the frontend tracks it.
+struct NetJob {
+    handle: JobHandle,
+    name: String,
+    results: PathBuf,
+}
+
+struct NetState {
+    service: Arc<ScreenService>,
+    jobs: Mutex<HashMap<JobId, NetJob>>,
+    cfg: NetConfig,
+    /// Connections refused with 503 (accept-side backpressure).
+    rejected: AtomicU64,
+}
+
+/// Monotonic counter naming result files (assigned pre-submit, before
+/// the service id exists). Process-global, not per-server: two
+/// frontends in one process can share the default (pid-derived)
+/// `results_dir`, and per-server counters would both hand out
+/// `job-1.jsonl` — one server's eviction would then delete the other's
+/// live results.
+static NEXT_FILE: AtomicU64 = AtomicU64::new(1);
+
+/// A running HTTP listener bound to a [`ScreenService`].
+pub struct NetServer {
+    addr: SocketAddr,
+    state: Arc<NetState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    handler_threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start the accept loop plus handler threads. The service is
+    /// shared — in-process submissions keep working alongside network
+    /// ones.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<ScreenService>,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        std::fs::create_dir_all(&cfg.results_dir)?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(NetState {
+            service,
+            jobs: Mutex::new(HashMap::new()),
+            cfg: cfg.clone(),
+            rejected: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.pending_connections.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut handler_threads = Vec::new();
+        for _ in 0..cfg.handler_threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            handler_threads.push(std::thread::spawn(move || handler_loop(&rx, &state)));
+        }
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &state))
+        };
+        Ok(NetServer {
+            addr: local,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+        })
+    }
+
+    /// The bound address (resolves the port for `…:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections answered `503` at the accept edge so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.state.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain the handler threads, and join everything.
+    /// The underlying [`ScreenService`] is left running (it may have
+    /// in-process users); shut it down separately. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Dropping the sender (owned by the accept loop) ends handler
+        // `recv`s; join them.
+        for t in self.handler_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    state: &NetState,
+) {
+    loop {
+        let Ok((conn, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Transient accept failures (fd exhaustion under a
+            // connection flood, ECONNABORTED) must shed load, not
+            // busy-spin the accept thread at 100 % CPU.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection; tx drops, handlers drain
+        }
+        match tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(conn)) => {
+                // Backpressure at the edge: refuse loudly instead of
+                // queueing without bound.
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                respond_best_effort(
+                    conn,
+                    503,
+                    &Json::Obj(vec![(
+                        "error".into(),
+                        Json::str("server is saturated; retry later"),
+                    )]),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn handler_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<NetState>) {
+    loop {
+        // Hold the lock only for the dequeue, not the request.
+        let conn = match rx.lock().unwrap().recv() {
+            Ok(c) => c,
+            Err(_) => return, // accept loop gone
+        };
+        // Panic isolation: the pool is fixed-size, so a panicking
+        // request path must cost one connection, not one handler
+        // thread for the rest of the server's life.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = handle_connection(conn, state);
+        }));
+    }
+}
+
+/// Parsed request line + the bits of the message we use.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// One request/status/header line (request line, header). Long enough
+/// for any payload this API carries; short enough that a line-free
+/// byte stream cannot grow a handler's memory (the body is the only
+/// large region, and it is bounded separately).
+const MAX_LINE_BYTES: usize = 16 << 10;
+
+/// Wall-clock budget for reading one complete request (request line,
+/// headers, and body together). Bounds what the byte caps and per-read
+/// timeouts cannot: a client dripping one byte every 29 s keeps every
+/// 30 s read alive, and would otherwise hold a handler thread for days
+/// within the byte budget alone.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+
+fn deadline_error() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        format!(
+            "request not complete within {}s",
+            REQUEST_DEADLINE.as_secs()
+        ),
+    )
+}
+
+/// `read_line` with a hard cap: a line longer than `MAX_LINE_BYTES`
+/// (or one that never ends, or arrives slower than the request
+/// deadline allows) is an error, not unbounded buffering.
+fn read_capped_line(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> std::io::Result<Option<String>> {
+    let mut bytes = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if Instant::now() > deadline {
+            return Err(deadline_error());
+        }
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                bytes.push(byte[0]);
+                if bytes.len() > MAX_LINE_BYTES {
+                    // Discard (bounded, nothing buffered) to the end of
+                    // the line so the 400 reaches a client mid-write
+                    // instead of a connection reset; past the discard
+                    // cap it is an attack, not a request — just close.
+                    let mut discarded = 0usize;
+                    while discarded < 16 * MAX_LINE_BYTES {
+                        match reader.read(&mut byte) {
+                            Ok(1..) if byte[0] != b'\n' => discarded += 1,
+                            _ => break,
+                        }
+                    }
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    ));
+                }
+            }
+        }
+    }
+    if bytes.is_empty() {
+        return Ok(None); // EOF or a bare newline: both end the headers
+    }
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    String::from_utf8(bytes)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 line"))
+}
+
+/// Read one HTTP/1.1 request. `Err(status, message)` is answered as-is.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, (u16, String)> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let line = read_capped_line(reader, deadline)
+        .map_err(|e| (400, format!("bad request line: {e}")))?
+        .ok_or((400, "empty request line".to_string()))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or((400, "empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or((400, "request line without a path".to_string()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err((505, format!("unsupported protocol '{version}'")));
+    }
+
+    let mut content_length = 0usize;
+    let mut headers_seen = 0usize;
+    while let Some(header) =
+        read_capped_line(reader, deadline).map_err(|e| (400, format!("bad header: {e}")))?
+    {
+        headers_seen += 1;
+        // Per-line bytes are capped above; cap the *count* too, or a
+        // client drip-feeding `X: y` lines holds a handler forever.
+        if headers_seen > 128 {
+            return Err((400, "more than 128 header lines".to_string()));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, format!("bad content-length '{}'", value.trim())))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && !value.trim().eq_ignore_ascii_case("identity")
+            {
+                return Err((501, "chunked bodies are not supported".to_string()));
+            }
+        }
+    }
+    if content_length > max_body {
+        // Best-effort drain (bounded) before answering: the client is
+        // mid-write; closing with unread data RSTs the socket and the
+        // typed 413 never reaches it. Draining more than a few bufs
+        // past the limit is pointless — give up and let them see the
+        // reset instead of relaying an attacker-declared length.
+        let mut sink = [0u8; 16 << 10];
+        let mut left = content_length.min(4 * max_body);
+        while left > 0 {
+            let take = left.min(sink.len());
+            match reader.read(&mut sink[..take]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => left -= n,
+            }
+        }
+        return Err((
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        if Instant::now() > deadline {
+            return Err((400, deadline_error().to_string()));
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err((400, "truncated body".to_string())),
+            Ok(n) => filled += n,
+            Err(e) => return Err((400, format!("truncated body: {e}"))),
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+fn handle_connection(conn: TcpStream, state: &Arc<NetState>) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let (status, content_type, body) = match read_request(&mut reader, state.cfg.max_body_bytes) {
+        Ok(req) => route(&req, state),
+        Err((status, message)) => (
+            status,
+            "application/json",
+            Body::Text(Json::Obj(vec![("error".into(), Json::str(message))]).encode()),
+        ),
+    };
+    write_response(conn, status, content_type, body)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// A response body: in-memory JSON, or a file streamed straight from
+/// disk (results can be large — they must not be buffered whole on a
+/// handler thread per request).
+enum Body {
+    Text(String),
+    /// The file plus the length to advertise; the copy is capped at
+    /// that length so a sink appending mid-response cannot overrun the
+    /// declared `Content-Length`.
+    File(std::fs::File, u64),
+}
+
+fn write_response(
+    mut conn: TcpStream,
+    status: u16,
+    content_type: &str,
+    body: Body,
+) -> std::io::Result<()> {
+    let len = match &body {
+        Body::Text(t) => t.len() as u64,
+        Body::File(_, len) => *len,
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    conn.write_all(head.as_bytes())?;
+    match body {
+        Body::Text(t) => conn.write_all(t.as_bytes())?,
+        Body::File(file, len) => {
+            std::io::copy(&mut file.take(len), &mut conn)?;
+        }
+    }
+    conn.flush()
+}
+
+/// Answer a connection from the accept thread (the 503 backpressure
+/// path) without EVER blocking it — an accept loop that waits on a
+/// rejected client is an accept loop not accepting. The drain is
+/// non-blocking: it consumes whatever the client already delivered
+/// (the whole request, for the common small-submission case, so the
+/// 503 arrives instead of a connection reset) and gives up at the
+/// first would-block. A client still mid-write of a large body may
+/// see the reset — that is the overload signal doing its job.
+fn respond_best_effort(conn: TcpStream, status: u16, body: &Json) {
+    let mut sink = [0u8; 16 << 10];
+    let mut drained = 0usize;
+    if conn.set_nonblocking(true).is_ok() {
+        if let Ok(mut reader) = conn.try_clone() {
+            while drained < (64 << 10) {
+                match reader.read(&mut sink) {
+                    Ok(n @ 1..) => drained += n,
+                    _ => break, // EOF, WouldBlock, or error: stop
+                }
+            }
+        }
+        let _ = conn.set_nonblocking(false);
+    }
+    // The 503 body is far below a socket send buffer; the write never
+    // meaningfully blocks, but cap it to be safe.
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = write_response(conn, status, "application/json", Body::Text(body.encode()));
+}
+
+type Response = (u16, &'static str, Body);
+
+fn json_response(status: u16, v: &Json) -> Response {
+    (status, "application/json", Body::Text(v.encode()))
+}
+
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    json_response(
+        status,
+        &Json::Obj(vec![("error".into(), Json::str(message.into()))]),
+    )
+}
+
+fn wire_error_response(e: &WireError) -> Response {
+    json_response(
+        e.http_status(),
+        &Json::Obj(vec![("error".into(), Json::str(e.to_string()))]),
+    )
+}
+
+fn route(req: &Request, state: &Arc<NetState>) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            json_response(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+        }
+        ("GET", ["stats"]) => {
+            let mut v = wire::stats_to_json(&state.service.stats());
+            if let Json::Obj(members) = &mut v {
+                members.push((
+                    "rejected_connections".into(),
+                    Json::u64(state.rejected.load(Ordering::Relaxed)),
+                ));
+                members.push((
+                    "queue_capacity".into(),
+                    Json::usize(state.service.queue_capacity()),
+                ));
+            }
+            json_response(200, &v)
+        }
+        ("POST", ["jobs"]) => submit_job(&req.body, state),
+        ("GET", ["jobs", id]) => with_job(state, id, job_status),
+        ("GET", ["jobs", id, "results"]) => with_job(state, id, job_results),
+        ("DELETE", ["jobs", id]) => with_job(state, id, cancel_job),
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) => {
+            error_response(405, format!("method {} not allowed on {path}", req.method))
+        }
+        _ => error_response(404, format!("no route for {path}")),
+    }
+}
+
+fn submit_job(body: &str, state: &Arc<NetState>) -> Response {
+    let sub = match wire::parse(body).and_then(|v| wire::submission_from_json(&v)) {
+        Ok(s) => s,
+        Err(e) => return wire_error_response(&e),
+    };
+    // Path sources make *this* process read the named file; on an
+    // unauthenticated socket that is a filesystem probe. Refuse before
+    // any I/O happens unless the operator opted in.
+    if !state.cfg.allow_path_sources && sub.uses_path_sources() {
+        return error_response(
+            403,
+            "server-side 'path' sources are disabled on this server; \
+             ship the PDBQT text inline instead",
+        );
+    }
+    let receptor = match sub.load_receptor() {
+        Ok(r) => r,
+        Err(e) => return wire_error_response(&e),
+    };
+    let file_no = NEXT_FILE.fetch_add(1, Ordering::Relaxed);
+    let results = state.cfg.results_dir.join(format!("job-{file_no}.jsonl"));
+    let name = sub.campaign.name.clone();
+    let spec = JobSpec {
+        receptor,
+        ligands: sub.ligands,
+        priority: sub.priority,
+        jsonl: Some(results.clone()),
+        ..JobSpec::from(sub.campaign)
+    };
+    // try_submit, not submit: a full queue must become backpressure on
+    // the wire (503 + retry), never a handler thread blocked on a
+    // condvar while holding a connection open.
+    match state.service.try_submit(spec) {
+        Ok(handle) => {
+            let id = handle.id();
+            let evicted = {
+                let mut jobs = state.jobs.lock().unwrap();
+                jobs.insert(
+                    id,
+                    NetJob {
+                        handle,
+                        name,
+                        results,
+                    },
+                );
+                evict_terminal_jobs(&mut jobs, state.cfg.max_retained_jobs)
+            };
+            for path in evicted {
+                std::fs::remove_file(path).ok();
+            }
+            json_response(
+                201,
+                &Json::Obj(vec![
+                    ("id".into(), Json::u64(id)),
+                    (
+                        "state".into(),
+                        Json::str(wire::state_name(JobState::Queued)),
+                    ),
+                    ("results".into(), Json::str(format!("/jobs/{id}/results"))),
+                ]),
+            )
+        }
+        Err(e @ (SubmitError::Full | SubmitError::Shutdown)) => error_response(503, e.to_string()),
+    }
+}
+
+/// Drop the oldest *terminal* jobs beyond `max_retained` so a
+/// long-running server does not grow per submission forever; returns
+/// their result-file paths for deletion outside the lock. Running and
+/// queued jobs are never touched, so the map can exceed the cap while
+/// that many jobs are genuinely in flight.
+fn evict_terminal_jobs(jobs: &mut HashMap<JobId, NetJob>, max_retained: usize) -> Vec<PathBuf> {
+    let mut terminal: Vec<JobId> = jobs
+        .iter()
+        .filter(|(_, j)| j.handle.try_outcome().is_some())
+        .map(|(&id, _)| id)
+        .collect();
+    // The cap applies to *terminal* jobs alone (as NetConfig documents):
+    // in-flight jobs must neither be evicted nor crowd finished ones
+    // out of their retention window.
+    let excess = terminal.len().saturating_sub(max_retained.max(1));
+    if excess == 0 {
+        return Vec::new();
+    }
+    terminal.sort_unstable();
+    terminal
+        .into_iter()
+        .take(excess)
+        .filter_map(|id| jobs.remove(&id).map(|j| j.results))
+        .collect()
+}
+
+/// Look a job up and run `f` on a clone of its tracking entry, or 404.
+/// The clone means the global map lock is held only for the lookup —
+/// never across `f` (which may read a large results file from disk).
+fn with_job(state: &Arc<NetState>, id: &str, f: fn(&NetJob, JobId) -> Response) -> Response {
+    let Ok(id) = id.parse::<JobId>() else {
+        return error_response(404, format!("job id '{id}' is not a number"));
+    };
+    let job = {
+        let jobs = state.jobs.lock().unwrap();
+        jobs.get(&id).map(|j| NetJob {
+            handle: j.handle.clone(),
+            name: j.name.clone(),
+            results: j.results.clone(),
+        })
+    };
+    match job {
+        Some(job) => f(&job, id),
+        None => error_response(404, format!("no job {id}")),
+    }
+}
+
+fn job_status(job: &NetJob, id: JobId) -> Response {
+    let outcome = job.handle.try_outcome();
+    let v = wire::status_to_json(
+        id,
+        &job.name,
+        job.handle.state(),
+        job.handle.ligands_done(),
+        job.handle.chunks_done(),
+        outcome.as_ref(),
+    );
+    json_response(200, &v)
+}
+
+fn job_results(job: &NetJob, _id: JobId) -> Response {
+    // The sink appends + flushes at chunk boundaries, so serving the
+    // file mid-run streams every completed chunk — same contract as
+    // tailing the JSONL locally. Streamed from disk, never buffered
+    // whole: results files grow with the campaign. The length is
+    // snapshotted up front so a chunk landing mid-response cannot
+    // overrun the declared Content-Length.
+    match std::fs::File::open(&job.results) {
+        Ok(file) => match file.metadata() {
+            Ok(meta) => (200, "application/x-ndjson", Body::File(file, meta.len())),
+            Err(e) => error_response(500, format!("results file: {e}")),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            (200, "application/x-ndjson", Body::Text(String::new()))
+        }
+        Err(e) => error_response(500, format!("results file: {e}")),
+    }
+}
+
+fn cancel_job(job: &NetJob, id: JobId) -> Response {
+    job.handle.cancel();
+    let v = wire::status_to_json(
+        id,
+        &job.name,
+        job.handle.state(),
+        job.handle.ligands_done(),
+        job.handle.chunks_done(),
+        job.handle.try_outcome().as_ref(),
+    );
+    json_response(202, &v)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// The matching blocking HTTP client: one request per connection,
+/// exactly what the server speaks. Used by the CLI (`mudock submit`,
+/// `mudock poll`), the loopback bench mode, and the integration tests.
+pub mod client {
+    use super::*;
+    use crate::ingest::LigandSource;
+    use crate::job::Priority;
+    use crate::wire::{JobStatus, ReceptorSource};
+    use mudock_core::CampaignSpec;
+
+    /// A client-side failure.
+    #[derive(Debug)]
+    pub enum ClientError {
+        /// Connect/read/write failed.
+        Io(std::io::Error),
+        /// The server answered with a non-2xx status.
+        Http { status: u16, body: String },
+        /// The response body did not decode.
+        Wire(WireError),
+    }
+
+    impl std::fmt::Display for ClientError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                ClientError::Io(e) => write!(f, "connection failed: {e}"),
+                ClientError::Http { status, body } => {
+                    // Surface the server's JSON error message when present.
+                    let detail = wire::parse(body)
+                        .ok()
+                        .and_then(|v| match v.get("error") {
+                            Some(Json::Str(s)) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| body.clone());
+                    write!(f, "HTTP {status}: {detail}")
+                }
+                ClientError::Wire(e) => write!(f, "bad response body: {e}"),
+            }
+        }
+    }
+
+    impl std::error::Error for ClientError {}
+
+    impl From<std::io::Error> for ClientError {
+        fn from(e: std::io::Error) -> Self {
+            ClientError::Io(e)
+        }
+    }
+
+    impl From<WireError> for ClientError {
+        fn from(e: WireError) -> Self {
+            ClientError::Wire(e)
+        }
+    }
+
+    /// A raw HTTP exchange.
+    #[derive(Clone, Debug)]
+    pub struct HttpResponse {
+        pub status: u16,
+        pub body: String,
+    }
+
+    impl HttpResponse {
+        /// Error on non-2xx, pass through otherwise.
+        pub fn ok(self) -> Result<HttpResponse, ClientError> {
+            if (200..300).contains(&self.status) {
+                Ok(self)
+            } else {
+                Err(ClientError::Http {
+                    status: self.status,
+                    body: self.body,
+                })
+            }
+        }
+    }
+
+    /// One blocking request against `addr` (e.g. `"127.0.0.1:7979"`).
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        let mut conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        conn.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len(),
+        );
+        conn.write_all(head.as_bytes())?;
+        conn.write_all(body.as_bytes())?;
+        conn.flush()?;
+
+        let mut reader = BufReader::new(conn);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line '{}'", status_line.trim_end()),
+                ))
+            })?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            let n = reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if n == 0 || header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let body = match content_length {
+            Some(len) => {
+                let mut buf = vec![0u8; len];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8_lossy(&buf).into_owned()
+            }
+            None => {
+                // Connection: close — read to EOF.
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        Ok(HttpResponse { status, body })
+    }
+
+    /// `POST /jobs`: submit a campaign; returns the assigned job id.
+    pub fn submit(
+        addr: &str,
+        campaign: &CampaignSpec,
+        receptor: &ReceptorSource,
+        ligands: &LigandSource,
+        priority: Priority,
+    ) -> Result<JobId, ClientError> {
+        let body = wire::submission_to_json(campaign, receptor, ligands, priority)?.encode();
+        let resp = request(addr, "POST", "/jobs", Some(&body))?.ok()?;
+        let v = wire::parse(&resp.body)?;
+        match v.get("id") {
+            Some(Json::Num(n)) => n
+                .as_u64()
+                .ok_or_else(|| ClientError::Wire(WireError::invalid("id", "expected an integer"))),
+            _ => Err(ClientError::Wire(WireError::Missing { field: "id" })),
+        }
+    }
+
+    /// `GET /jobs/{id}`: one status snapshot.
+    pub fn poll(addr: &str, id: JobId) -> Result<JobStatus, ClientError> {
+        let resp = request(addr, "GET", &format!("/jobs/{id}"), None)?.ok()?;
+        Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+    }
+
+    /// Poll until the job reaches a terminal state.
+    pub fn wait(addr: &str, id: JobId, interval: Duration) -> Result<JobStatus, ClientError> {
+        loop {
+            let status = poll(addr, id)?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    /// `GET /jobs/{id}/results`: the JSONL produced so far.
+    pub fn results(addr: &str, id: JobId) -> Result<String, ClientError> {
+        Ok(request(addr, "GET", &format!("/jobs/{id}/results"), None)?
+            .ok()?
+            .body)
+    }
+
+    /// `DELETE /jobs/{id}`: request cancellation.
+    pub fn cancel(addr: &str, id: JobId) -> Result<JobStatus, ClientError> {
+        let resp = request(addr, "DELETE", &format!("/jobs/{id}"), None)?.ok()?;
+        Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+    }
+
+    /// `GET /healthz`, as a boolean.
+    pub fn healthy(addr: &str) -> bool {
+        matches!(request(addr, "GET", "/healthz", None), Ok(r) if r.status == 200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+
+    fn tiny_service() -> Arc<ScreenService> {
+        Arc::new(ScreenService::start(ServeConfig {
+            total_threads: 1,
+            job_slots: 1,
+            queue_capacity: 2,
+            cache_capacity: 1,
+        }))
+    }
+
+    fn bind(service: &Arc<ScreenService>) -> NetServer {
+        NetServer::bind("127.0.0.1:0", Arc::clone(service), NetConfig::default())
+            .expect("loopback bind")
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        assert!(client::healthy(&addr));
+        let resp = client::request(&addr, "GET", "/stats", None)
+            .unwrap()
+            .ok()
+            .unwrap();
+        let v = wire::parse(&resp.body).unwrap();
+        assert!(v.get("cache").is_some());
+        assert!(v.get("queue_capacity").is_some());
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_typed_errors() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        assert_eq!(
+            client::request(&addr, "GET", "/nope", None).unwrap().status,
+            404
+        );
+        assert_eq!(
+            client::request(&addr, "DELETE", "/healthz", None)
+                .unwrap()
+                .status,
+            405
+        );
+        assert_eq!(
+            client::request(&addr, "GET", "/jobs/999", None)
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client::request(&addr, "GET", "/jobs/not-a-number", None)
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client::request(&addr, "POST", "/jobs", Some("{not json"))
+                .unwrap()
+                .status,
+            400
+        );
+        // Structurally fine, semantically invalid campaign → 422.
+        let body = r#"{"campaign": {"name": "x", "top_k": 0},
+                       "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
+                       "ligands": {"synth": {"seed": 1, "count": 2}}}"#;
+        assert_eq!(
+            client::request(&addr, "POST", "/jobs", Some(body))
+                .unwrap()
+                .status,
+            422
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn path_sources_are_refused_unless_enabled() {
+        let body = r#"{"campaign": {"name": "p"},
+                       "receptor": {"path": "/nonexistent/receptor.pdbqt"},
+                       "ligands": {"synth": {"seed": 1, "count": 2}}}"#;
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        // Default policy: 403 before any filesystem access.
+        assert_eq!(
+            client::request(&addr, "POST", "/jobs", Some(body))
+                .unwrap()
+                .status,
+            403
+        );
+        server.shutdown();
+
+        // Opted in: the path is now attempted — and since it does not
+        // exist, the failure is the loader's 400, not the policy 403.
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                allow_path_sources: true,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        assert_eq!(
+            client::request(&addr, "POST", "/jobs", Some(body))
+                .unwrap()
+                .status,
+            400
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn eviction_drops_only_the_oldest_terminal_jobs() {
+        use crate::job::{JobOutcome, JobShared};
+        fn job(id: u64, terminal: bool) -> NetJob {
+            let shared = JobShared::new(id);
+            if terminal {
+                shared.finish(JobOutcome {
+                    id,
+                    name: String::new(),
+                    state: JobState::Completed,
+                    ligands_done: 0,
+                    chunks_done: 0,
+                    replayed_chunks: 0,
+                    grid_cache_hit: false,
+                    stopped_early: false,
+                    top: Vec::new(),
+                    elapsed: Duration::ZERO,
+                    error: None,
+                });
+            }
+            NetJob {
+                handle: JobHandle { shared },
+                name: format!("j{id}"),
+                results: PathBuf::from(format!("/nonexistent/none-{id}.jsonl")),
+            }
+        }
+        let mut jobs = HashMap::new();
+        for id in 1..=4u64 {
+            jobs.insert(id, job(id, id != 3)); // job 3 is still running
+        }
+        // Three *terminal* jobs (1, 2, 4) against a cap of 2 → the
+        // oldest terminal job (1) goes. The running job neither counts
+        // toward the cap nor gets evicted, even though it is older
+        // than 4.
+        let evicted = evict_terminal_jobs(&mut jobs, 2);
+        assert_eq!(evicted.len(), 1);
+        assert!(jobs.contains_key(&3), "running jobs are never evicted");
+        assert!(jobs.contains_key(&2) && jobs.contains_key(&4));
+        assert!(!jobs.contains_key(&1));
+        // Exactly at the cap now: nothing further to do.
+        assert!(evict_terminal_jobs(&mut jobs, 2).is_empty());
+        // A sea of running jobs cannot push terminal ones out early.
+        for id in 10..=30u64 {
+            jobs.insert(id, job(id, false));
+        }
+        assert!(evict_terminal_jobs(&mut jobs, 2).is_empty());
+    }
+
+    #[test]
+    fn overlong_header_lines_are_refused_not_buffered() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        // A request line far beyond MAX_LINE_BYTES: the server must
+        // answer 400 (it read a bounded prefix), not buffer it all.
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 << 10));
+        conn.write_all(huge.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        let mut resp = String::new();
+        let mut reader = BufReader::new(conn);
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("400"), "got: {resp}");
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let service = tiny_service();
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                max_body_bytes: 64,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let body = "x".repeat(256);
+        assert_eq!(
+            client::request(&addr, "POST", "/jobs", Some(&body))
+                .unwrap()
+                .status,
+            413
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+}

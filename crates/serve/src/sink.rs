@@ -25,7 +25,15 @@ use mudock_core::ScreenResult;
 
 use crate::job::RankedLigand;
 
-/// Escape a string for a JSON string literal (control chars, `"`, `\`).
+/// Escape a string for a JSON string literal.
+///
+/// Handles every mandatory escape (`"`, `\`, and all C0 controls), and
+/// additionally escapes DEL (0x7f) and the C1 range (0x80–0x9f): legal
+/// in JSON but invisible in logs and mangled by some line-oriented
+/// consumers, and this output is written to JSONL files tailed by
+/// exactly such tools. Rust strings are always valid UTF-8, so unpaired
+/// surrogates cannot occur on the encode side (the wire parser rejects
+/// them on decode).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -35,7 +43,9 @@ pub fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 || (0x7f..=0x9f).contains(&(c as u32)) => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
             c => out.push(c),
         }
     }
@@ -361,6 +371,30 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn json_escape_covers_every_mandatory_control() {
+        // Every C0 control must come out as an escape; none may pass
+        // through raw (RFC 8259 §7).
+        for c in (0u32..0x20).map(|c| char::from_u32(c).unwrap()) {
+            let escaped = json_escape(&c.to_string());
+            assert!(
+                escaped.starts_with('\\'),
+                "U+{:04X} must be escaped, got {escaped:?}",
+                c as u32
+            );
+        }
+        assert_eq!(json_escape("\u{7f}"), "\\u007f", "DEL is escaped");
+        assert_eq!(json_escape("\u{85}"), "\\u0085", "C1 NEL is escaped");
+        assert_eq!(json_escape("\u{9f}"), "\\u009f", "C1 end is escaped");
+        // Shorthand escapes stay shorthand; printable text stays put.
+        assert_eq!(json_escape("a\tb\nc\rd"), "a\\tb\\nc\\rd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain α😀"), "plain α😀");
+        assert_eq!(json_escape("q\"e\\"), "q\\\"e\\\\");
+        // U+00A0 (just past C1) is untouched.
+        assert_eq!(json_escape("\u{a0}"), "\u{a0}");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! mudock screen --demo N [--threads T]               # synthetic screening batch
 //! mudock serve  --demo N [--jobs J] [--threads T]    # screening service demo
 //!               [--top K] [--chunk C] [--jsonl DIR] [--checkpoint DIR]
+//! mudock serve  --listen ADDR [--jobs J] [--threads T] [--results DIR]
+//!                                                    # network screening server
+//! mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L)
+//!               [campaign options] [--priority low|normal|high]
+//! mudock poll   --addr HOST:PORT ID [--wait] [--results] [--cancel]
 //! ```
 //!
 //! Every subcommand builds one [`CampaignSpec`](mudock::core::CampaignSpec)
@@ -35,7 +40,7 @@ use mudock::grids::{GridBuilder, GridDims};
 use mudock::mol::{Molecule, Vec3};
 
 fn usage() -> &'static str {
-    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)"
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n  mudock serve --listen ADDR [--jobs J] [--threads T] [--results DIR]\n  mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L) [options]\n  mudock poll --addr HOST:PORT ID [--wait] [--results] [--cancel] [--interval-ms MS]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)\n\nnetwork options:\n  --listen ADDR     serve the HTTP API on ADDR (port 0 picks one; serve only)\n  --results DIR     per-job JSONL result files (serve --listen only)\n  --allow-path-sources  accept server-side {\"path\": ...} sources (off by default)\n  --addr HOST:PORT  server to talk to (submit/poll)\n  --name NAME       campaign name (submit, default 'remote')\n  --priority P      low|normal|high (submit, default normal)\n  --ligands FILE    multi-model PDBQT ligand library (submit)\n  --wait            poll until the job is terminal\n  --results (poll)  print the job's JSONL results\n  --cancel          request cancellation\n  --interval-ms MS  poll interval for --wait (default 100)"
 }
 
 /// CLI failure with its exit code: usage/validation errors (exit 2,
@@ -65,13 +70,17 @@ impl From<&str> for CliError {
 }
 
 /// Split argv into flags (`--k v` / bare `--k`) and positionals.
-fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+/// `boolean` names flags that never take a value, so `poll --wait 42`
+/// keeps `42` as the positional job id instead of swallowing it as
+/// `--wait`'s value.
+fn parse_args(args: &[String], boolean: &[&str]) -> (HashMap<String, String>, Vec<String>) {
     let mut flags = HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            let takes_value =
+                !boolean.contains(&key) && i + 1 < args.len() && !args[i + 1].starts_with("--");
             if takes_value {
                 flags.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -188,14 +197,21 @@ fn campaign_from(flags: &HashMap<String, String>, name: &str) -> Result<Campaign
         }
         Some("deadline-s") => {
             let secs: f64 = num(flags, "deadline-s", 0.0f64)?;
-            if !secs.is_finite() || secs < 0.0 {
+            // try_from: a finite but absurd value (1e300 overflows
+            // Duration) must exit 2 like every other bad flag, not
+            // panic.
+            let deadline = if secs.is_finite() && secs >= 0.0 {
+                std::time::Duration::try_from_secs_f64(secs).ok()
+            } else {
+                None
+            };
+            let Some(deadline) = deadline else {
                 return Err(CliError::Usage(format!(
-                    "bad --deadline-s value '{secs}': must be a non-negative number"
+                    "bad --deadline-s value '{secs}': must be a non-negative number of seconds \
+                     a deadline can hold"
                 )));
-            }
-            builder = builder.stop(StopPolicy::Deadline(std::time::Duration::from_secs_f64(
-                secs,
-            )));
+            };
+            builder = builder.stop(StopPolicy::Deadline(deadline));
         }
         Some("stable-window") => {
             builder = builder.stop(StopPolicy::RankingStable {
@@ -316,6 +332,27 @@ fn demo_campaign(flags: &HashMap<String, String>, name: &str) -> Result<Campaign
     Ok(spec)
 }
 
+/// The bundled synthetic screening complex every demo mode shares.
+/// `screen --demo`, `serve --demo`, and `submit --demo` must screen
+/// the same target on the same lattice — `submit`'s rankings are only
+/// comparable to the local demos because these constants are the
+/// single source of that complex.
+const DEMO_RECEPTOR_SEED: u64 = 0xd0c6;
+const DEMO_RECEPTOR_ATOMS: usize = 300;
+const DEMO_RECEPTOR_RADIUS: f32 = 9.0;
+
+fn demo_receptor() -> Molecule {
+    mudock::molio::synthetic_receptor(
+        DEMO_RECEPTOR_SEED,
+        DEMO_RECEPTOR_ATOMS,
+        DEMO_RECEPTOR_RADIUS,
+    )
+}
+
+fn demo_grid_dims() -> GridDims {
+    GridDims::centered(Vec3::ZERO, 11.0, 0.6)
+}
+
 fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if !flags.contains_key("demo") {
         return Err(CliError::Usage(
@@ -325,8 +362,8 @@ fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let n = demo_count(flags, 16)?;
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
     let mut spec = demo_campaign(flags, "screen-demo")?;
-    spec.grid_dims = Some(GridDims::centered(Vec3::ZERO, 11.0, 0.6));
-    let receptor = mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0);
+    spec.grid_dims = Some(demo_grid_dims());
+    let receptor = demo_receptor();
     let ligands = mudock::molio::mediate_like_set(spec.seed, n);
     eprintln!("screening {n} synthetic ligands on {threads} threads…");
     let grids = GridBuilder::new(&receptor, spec.dims_for(&receptor)).build_simd(spec.grid_level());
@@ -357,9 +394,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use mudock::serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
     use std::sync::Arc;
 
+    if flags.contains_key("listen") {
+        return cmd_serve_listen(flags);
+    }
     if !flags.contains_key("demo") {
         return Err(CliError::Usage(
-            "serve currently supports --demo N (synthetic batch per job)".into(),
+            "serve needs --demo N (synthetic batch per job) or --listen ADDR (network server)"
+                .into(),
         ));
     }
     let n = demo_count(flags, 32)?;
@@ -367,7 +408,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
     let base = {
         let mut c = demo_campaign(flags, "demo")?;
-        c.grid_dims = Some(GridDims::centered(Vec3::ZERO, 11.0, 0.6));
+        c.grid_dims = Some(demo_grid_dims());
         c
     };
 
@@ -376,7 +417,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         job_slots: jobs.min(threads).max(1),
         ..ServeConfig::default()
     });
-    let receptor = Arc::new(mudock::molio::synthetic_receptor(0xd0c6, 300, 9.0));
+    let receptor = Arc::new(demo_receptor());
 
     eprintln!("serving {jobs} jobs × {n} ligands on {threads} threads…");
     let t0 = std::time::Instant::now();
@@ -440,18 +481,190 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mudock serve --listen ADDR`: the screening node as a network
+/// service. Binds the HTTP frontend over a [`ScreenService`] and runs
+/// until killed. The resolved address (important for `--listen …:0`)
+/// is printed to stdout so scripts can capture the port.
+fn cmd_serve_listen(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use mudock::serve::{NetConfig, NetServer, ScreenService, ServeConfig};
+    use std::sync::Arc;
+
+    let addr = flags
+        .get("listen")
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| CliError::Usage("--listen needs an ADDR (e.g. 127.0.0.1:7979)".into()))?;
+    let jobs: usize = num(flags, "jobs", 2usize)?.max(1);
+    let threads = num(flags, "threads", mudock::pool::default_threads())?;
+    let service = Arc::new(ScreenService::start(ServeConfig {
+        total_threads: threads,
+        job_slots: jobs,
+        ..ServeConfig::default()
+    }));
+    let mut cfg = NetConfig::default();
+    if let Some(dir) = flags.get("results").filter(|d| !d.is_empty()) {
+        cfg.results_dir = dir.into();
+    }
+    // Off by default: on an open socket, server-side path sources are
+    // a filesystem probe. Inline PDBQT text always works.
+    cfg.allow_path_sources = flags.contains_key("allow-path-sources");
+    let server = NetServer::bind(addr.as_str(), Arc::clone(&service), cfg)
+        .map_err(|e| CliError::Run(format!("bind {addr}: {e}")))?;
+    println!("mudock-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "endpoints: POST /jobs, GET /jobs/{{id}}, GET /jobs/{{id}}/results, \
+         DELETE /jobs/{{id}}, GET /healthz, GET /stats"
+    );
+    // Serve until the process is killed; jobs run on the service's
+    // executors, requests on the frontend's handler threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `mudock submit`: build a campaign from the shared flag set and POST
+/// it to a remote server. Prints the assigned job id (alone, on
+/// stdout) for scripting.
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use mudock::serve::net::client;
+    use mudock::serve::{wire, LigandSource, Priority, ReceptorSource};
+
+    let addr = flags
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| CliError::Usage("submit needs --addr HOST:PORT".into()))?;
+    let name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| "remote".into());
+    let priority = match flags.get("priority").map(String::as_str) {
+        None | Some("") => Priority::Normal,
+        Some(p) => wire::priority_parse(p)
+            .ok_or_else(|| CliError::Usage(format!("bad --priority '{p}' (low|normal|high)")))?,
+    };
+    let (spec, receptor, ligands) = if flags.contains_key("demo") {
+        let n = demo_count(flags, 16)?;
+        let mut spec = demo_campaign(flags, &name)?;
+        // The same synthetic complex (and lattice) the local serve
+        // demo screens.
+        spec.grid_dims = Some(demo_grid_dims());
+        (
+            spec,
+            ReceptorSource::Synth {
+                seed: DEMO_RECEPTOR_SEED,
+                atoms: DEMO_RECEPTOR_ATOMS,
+                radius: DEMO_RECEPTOR_RADIUS,
+            },
+            LigandSource::synth(num(flags, "seed", 42u64)?, n),
+        )
+    } else {
+        let rpath = flags
+            .get("receptor")
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| {
+                CliError::Usage(
+                    "submit needs --demo N or --receptor R.pdbqt --ligands L.pdbqt".into(),
+                )
+            })?;
+        let lpath = flags
+            .get("ligands")
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| {
+                CliError::Usage(
+                    "submit needs --ligands FILE (multi-model PDBQT) with --receptor".into(),
+                )
+            })?;
+        // Read both client-side and ship the text inline, so the server
+        // does not need a shared filesystem.
+        let rtext =
+            std::fs::read_to_string(rpath).map_err(|e| CliError::Run(format!("{rpath}: {e}")))?;
+        let ltext =
+            std::fs::read_to_string(lpath).map_err(|e| CliError::Run(format!("{lpath}: {e}")))?;
+        (
+            campaign_from(flags, &name)?,
+            ReceptorSource::Pdbqt(rtext),
+            LigandSource::from_pdbqt(ltext),
+        )
+    };
+    let id = client::submit(addr, &spec, &receptor, &ligands, priority)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    eprintln!("submitted campaign '{name}' to {addr} as job {id}");
+    println!("{id}");
+    Ok(())
+}
+
+/// `mudock poll`: status / wait / results / cancel against a remote
+/// job. Status and results go to stdout verbatim (JSON / JSONL).
+fn cmd_poll(flags: &HashMap<String, String>, positional: &[String]) -> Result<(), CliError> {
+    use mudock::serve::net::client;
+    use mudock::serve::JobState;
+
+    let addr = flags
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| CliError::Usage("poll needs --addr HOST:PORT".into()))?;
+    let id: u64 = positional
+        .first()
+        .ok_or_else(|| CliError::Usage("poll needs a job id".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad job id '{}'", positional[0])))?;
+    let run = |e: client::ClientError| CliError::Run(e.to_string());
+
+    if flags.contains_key("cancel") {
+        let status = client::cancel(addr, id).map_err(run)?;
+        eprintln!(
+            "job {id}: cancellation requested (state {})",
+            mudock::serve::wire::state_name(status.state)
+        );
+    }
+    if flags.contains_key("wait") {
+        let interval = std::time::Duration::from_millis(num(flags, "interval-ms", 100u64)?.max(1));
+        let status = client::wait(addr, id, interval).map_err(run)?;
+        if status.state == JobState::Failed {
+            let why = status
+                .outcome
+                .and_then(|o| o.error)
+                .unwrap_or_else(|| "no error detail".into());
+            return Err(CliError::Run(format!("job {id} failed: {why}")));
+        }
+    }
+    if flags.contains_key("results") {
+        print!("{}", client::results(addr, id).map_err(run)?);
+        return Ok(());
+    }
+    let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None)
+        .map_err(run)?
+        .ok()
+        .map_err(run)?;
+    println!("{}", resp.body);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    let (flags, positional) = parse_args(&args[1..]);
+    // Per-command boolean flags (never consume the next argument).
+    // `--demo` is absent on purpose: its optional value (`--demo N`)
+    // relies on the greedy form. For `poll`, `--results` is boolean;
+    // for `serve` it takes a directory.
+    let boolean: &[&str] = match cmd.as_str() {
+        "poll" => &["wait", "cancel", "results"],
+        "serve" => &["local-search", "allow-path-sources"],
+        "dock" | "screen" | "submit" => &["local-search"],
+        _ => &[],
+    };
+    let (flags, positional) = parse_args(&args[1..], boolean);
     let result = match cmd.as_str() {
         "info" => cmd_info(&positional),
         "dock" => cmd_dock(&flags),
         "screen" => cmd_screen(&flags),
         "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
+        "poll" => cmd_poll(&flags, &positional),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -37,6 +37,12 @@ fn invalid_campaign_values_exit_2_with_a_typed_message() {
             &["screen", "--demo", "4", "--deadline-s", "nan"],
             "deadline",
         ),
+        // Finite but beyond what a Duration can hold: still exit 2,
+        // never the Duration::from_secs_f64 panic.
+        (
+            &["screen", "--demo", "4", "--deadline-s", "1e300"],
+            "deadline",
+        ),
         // Conflicting or orphaned stop flags are rejected, not silently
         // resolved by precedence.
         (
@@ -124,4 +130,97 @@ fn valid_demo_run_succeeds_quickly() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ligands"), "stdout: {stdout}");
+}
+
+#[test]
+fn network_subcommands_validate_their_flags() {
+    // (args, fragment the usage message must contain)
+    let cases: &[(&[&str], &str)] = &[
+        (&["submit", "--demo", "4"], "--addr"),
+        (&["submit", "--addr", "127.0.0.1:1"], "--receptor"),
+        (
+            &["submit", "--addr", "127.0.0.1:1", "--receptor", "r.pdbqt"],
+            "--ligands",
+        ),
+        (
+            &[
+                "submit",
+                "--addr",
+                "127.0.0.1:1",
+                "--demo",
+                "4",
+                "--priority",
+                "urgent",
+            ],
+            "--priority",
+        ),
+        (
+            &[
+                "submit",
+                "--addr",
+                "127.0.0.1:1",
+                "--demo",
+                "4",
+                "--top",
+                "0",
+            ],
+            "top-k",
+        ),
+        (&["poll", "--addr", "127.0.0.1:1"], "job id"),
+        (&["poll", "--addr", "127.0.0.1:1", "seven"], "job id"),
+        (&["poll", "3"], "--addr"),
+        (&["serve"], "--listen"),
+        (&["serve", "--listen"], "ADDR"),
+    ];
+    for (args, fragment) in cases {
+        let out = mudock(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains(fragment),
+            "{args:?} stderr must mention {fragment:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unreachable_server_is_a_runtime_error_not_a_panic() {
+    // Port 1 on loopback: connection refused. Must exit 1 with a typed
+    // message, never a panic or exit 2 (the flags were fine).
+    let out = mudock(&["poll", "--addr", "127.0.0.1:1", "3"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("connection failed"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // Boolean flags must not swallow the positional job id: with
+    // `--wait` right before `42`, the id still parses and the failure
+    // is the unreachable server (exit 1), not a usage error (exit 2).
+    let out = mudock(&["poll", "--addr", "127.0.0.1:1", "--wait", "42"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("connection failed"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    let out = mudock(&[
+        "submit",
+        "--addr",
+        "127.0.0.1:1",
+        "--demo",
+        "2",
+        "--population",
+        "4",
+        "--generations",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
 }
