@@ -10,8 +10,9 @@
 //! than `tolerance` (default 0.25, i.e. ±25 %) *below* its baseline —
 //! speedups never fail the gate, they are reported so the baseline can
 //! be ratcheted. Metrics compared: top-level `ligands_per_sec` (the
-//! in-process service path) and `net.ligands_per_sec` (the loopback
-//! HTTP path) when both files carry it; a metric present in only one
+//! in-process service path), `net.ligands_per_sec` (the loopback HTTP
+//! path), and `multi.ligands_per_sec` (the multi-receptor shard/spill
+//! path) when both files carry them; a metric present in only one
 //! file is reported and skipped, so adding a new datapoint does not
 //! break the gate on the commit that introduces it.
 //!
@@ -85,7 +86,11 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
-    for path in ["ligands_per_sec", "net.ligands_per_sec"] {
+    for path in [
+        "ligands_per_sec",
+        "net.ligands_per_sec",
+        "multi.ligands_per_sec",
+    ] {
         match (metric(&current, path), metric(&baseline, path)) {
             (Some(cur), Some(base)) => {
                 let floor = base * (1.0 - tolerance);

@@ -4,7 +4,8 @@
 //! serve-layer optimization is measured against.
 //!
 //! ```text
-//! cargo run --release -p mudock-bench --bin serve_throughput [ligands_per_job] [jobs] [--net]
+//! cargo run --release -p mudock-bench --bin serve_throughput \
+//!     [ligands_per_job] [jobs] [--net] [--receptors N]
 //! ```
 //!
 //! With `--net`, the same campaigns are additionally submitted over a
@@ -12,6 +13,14 @@
 //! polled to completion with the blocking client, adding a
 //! `"net": {...}` datapoint so the network path's overhead is tracked
 //! by the same baseline file (and the same CI regression gate).
+//!
+//! With `--receptors N`, a multi-receptor leg runs the same ligand
+//! budget across N *distinct* receptors through a deliberately tiny
+//! (capacity 1) grid cache with the disk spill tier enabled — the
+//! worst-case target churn the sharding + spill work exists for. The
+//! `"multi": {...}` datapoint records throughput plus the spill/reload
+//! counters, so both the scheduling path and the spill I/O sit under
+//! the same regression gate.
 //!
 //! Thread count follows `MUDOCK_THREADS` (see `mudock_pool`), so CI runs
 //! are reproducible.
@@ -25,7 +34,7 @@ use mudock_mol::Vec3;
 use mudock_serve::net::client;
 use mudock_serve::{
     JobSpec, JobState, LigandSource, NetConfig, NetServer, Priority, ReceptorSource, ScreenService,
-    ServeConfig,
+    ServeConfig, SpillConfig,
 };
 
 fn bench_campaign(j: usize, dims: GridDims) -> CampaignSpec {
@@ -93,10 +102,103 @@ fn net_leg(n_ligands: usize, jobs: usize, threads: usize, dims: GridDims) -> (f6
     (elapsed, total / elapsed.max(1e-9))
 }
 
+/// The multi-receptor leg: the same per-job ligand budget, but every
+/// job targets a *different* receptor, the resident cache holds one
+/// grid set, and evictions spill to disk. Two rounds per receptor so
+/// the second round exercises the reload path. Returns
+/// `(elapsed_s, ligands_per_sec, spills, reloads)`.
+fn multi_leg(n_ligands: usize, receptors: usize, threads: usize) -> (f64, f64, u64, u64) {
+    let spill_dir = std::env::temp_dir().join(format!("mudock-bench-spill-{}", std::process::id()));
+    std::fs::remove_dir_all(&spill_dir).ok();
+    let service = ScreenService::try_start(ServeConfig {
+        total_threads: threads,
+        job_slots: 2,
+        cache_capacity: 1,
+        shards: receptors,
+        spill: Some(SpillConfig::new(&spill_dir)),
+        ..ServeConfig::default()
+    })
+    .expect("spill dir under temp_dir is creatable");
+
+    let targets: Vec<Arc<mudock_mol::Molecule>> = (0..receptors)
+        .map(|r| {
+            Arc::new(mudock_molio::synthetic_receptor(
+                0xbe2c + r as u64,
+                300,
+                9.0,
+            ))
+        })
+        .collect();
+    let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
+
+    let t0 = std::time::Instant::now();
+    // Round-robin across receptors, twice: round two hits whatever is
+    // resident and reloads what spilled.
+    let handles: Vec<_> = (0..2 * receptors)
+        .map(|j| {
+            let r = j % receptors;
+            service
+                .submit(JobSpec {
+                    receptor: Arc::clone(&targets[r]),
+                    ligands: LigandSource::synth(j as u64, n_ligands),
+                    ..JobSpec::from(bench_campaign(j, dims))
+                })
+                .expect("bench jobs fit the queue")
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(
+            h.wait().state,
+            JobState::Completed,
+            "multi bench job failed"
+        );
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.stats();
+    assert_eq!(
+        stats.shards.len(),
+        receptors,
+        "every receptor must get its own shard"
+    );
+    service.shutdown();
+    std::fs::remove_dir_all(&spill_dir).ok();
+    let total = (2 * receptors * n_ligands) as f64;
+    (
+        elapsed,
+        total / elapsed.max(1e-9),
+        stats.cache.spills,
+        stats.cache.reloads,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let with_net = args.iter().any(|a| a == "--net");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut with_net = false;
+    let mut receptors = 0usize;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--net" => with_net = true,
+            "--receptors" => {
+                receptors = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--receptors needs a count");
+            }
+            // An unrecognized flag must fail loudly: silently treating
+            // it as a positional would run (and baseline) a different
+            // configuration than the caller asked for.
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "serve_throughput: unknown flag '{flag}'\n\
+                     usage: serve_throughput [ligands_per_job] [jobs] [--net] [--receptors N]"
+                );
+                std::process::exit(2);
+            }
+            _ => positional.push(a),
+        }
+    }
     let n_ligands: usize = positional
         .first()
         .and_then(|s| s.parse().ok())
@@ -141,6 +243,9 @@ fn main() {
     // JSON codec, and polling. The gap between the two numbers *is* the
     // frontend overhead.
     let net = with_net.then(|| net_leg(n_ligands, jobs, threads, dims));
+    // The multi-receptor datapoint: target churn through a capacity-1
+    // cache with the spill tier on.
+    let multi = (receptors > 0).then(|| multi_leg(n_ligands, receptors, threads));
 
     let mut json = format!(
         concat!(
@@ -164,6 +269,19 @@ fn main() {
         eprintln!(
             "network path: {net_lps:.1} ligands/s ({:.1} % of in-process)",
             100.0 * net_lps / ligands_per_sec.max(1e-9)
+        );
+    }
+    if let Some((multi_elapsed, multi_lps, spills, reloads)) = multi {
+        json.push_str(&format!(
+            concat!(
+                ",\"multi\":{{\"receptors\":{},\"elapsed_s\":{:.4},",
+                "\"ligands_per_sec\":{:.2},\"spills\":{},\"reloads\":{}}}"
+            ),
+            receptors, multi_elapsed, multi_lps, spills, reloads,
+        ));
+        eprintln!(
+            "multi-receptor path ({receptors} targets): {multi_lps:.1} ligands/s, \
+             {spills} spills / {reloads} reloads"
         );
     }
     json.push_str("}\n");

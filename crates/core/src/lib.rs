@@ -63,7 +63,7 @@ pub mod transform;
 
 pub use campaign::{
     BackendPolicy, Campaign, CampaignBuilder, CampaignError, CampaignSpec, ChunkPolicy, ChunkSizer,
-    StopCheck, StopPolicy, MAX_CHUNK,
+    ShardPolicy, StopCheck, StopPolicy, MAX_CHUNK, MAX_SHARD_WEIGHT,
 };
 pub use engine::{Backend, DockError, DockParams, DockReport, DockingEngine, LigandPrep};
 pub use ga::{Ga, GaParams};

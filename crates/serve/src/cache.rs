@@ -17,7 +17,23 @@
 //! slot (a *hit* — the build runs once either way) and block inside
 //! `get_or_init` until it is ready. Build wall time and bytes produced
 //! are recorded into a [`PerfMonitor`] region (`"serve::grid_build"`).
+//!
+//! # The spill tier
+//!
+//! With many receptors in flight, the resident capacity thrashes: a
+//! grid set evicted today is rebuilt tomorrow at full AutoGrid cost.
+//! A cache created through [`GridCache::with_spill`] adds a bounded
+//! on-disk tier: on LRU eviction, the built [`GridSet`] is written
+//! through [`mudock_grids::io::save`] into the spill directory
+//! (atomically — temp file + rename), and the next miss on that key
+//! *reloads* it instead of rebuilding. Loads are bit-exact (the format
+//! round-trips f32 bit patterns), so a reloaded grid scores ligands
+//! identically to the original build. The directory is bounded by
+//! [`SpillConfig::capacity`]; the oldest spill files are deleted beyond
+//! it. Spills and reloads are counted in [`CacheStats`] and surface in
+//! `GET /stats`.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -29,6 +45,26 @@ use parking_lot::Mutex;
 /// Perf region name under which grid builds are recorded.
 pub const GRID_BUILD_REGION: &str = "serve::grid_build";
 
+/// Bounded on-disk spill tier for evicted grid sets.
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Directory spill files are written into (created on first use).
+    pub dir: PathBuf,
+    /// Maximum spill files kept on disk; the oldest are deleted beyond
+    /// this, so the directory never grows without bound.
+    pub capacity: usize,
+}
+
+impl SpillConfig {
+    /// Spill into `dir`, keeping at most 16 grid sets on disk.
+    pub fn new(dir: impl Into<PathBuf>) -> SpillConfig {
+        SpillConfig {
+            dir: dir.into(),
+            capacity: 16,
+        }
+    }
+}
+
 /// Cache counters (monotonic over the cache's lifetime).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -38,8 +74,15 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries discarded to respect the capacity bound.
     pub evictions: u64,
+    /// Evicted grid sets written to the spill tier.
+    pub spills: u64,
+    /// Misses satisfied by loading a spilled grid set from disk
+    /// instead of rebuilding it.
+    pub reloads: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Spill files currently on disk.
+    pub spilled: usize,
 }
 
 impl CacheStats {
@@ -61,38 +104,91 @@ struct Entry {
     last_use: u64,
 }
 
-struct Inner {
-    entries: Vec<Entry>,
+/// One spilled grid set on disk.
+struct SpillFile {
+    key: (u64, SimdLevel),
+    path: PathBuf,
+    /// Logical timestamp of the spill — the oldest file goes first
+    /// when the directory is over capacity.
     tick: u64,
 }
 
-/// Thread-safe LRU cache of built grid sets.
+struct SpillState {
+    cfg: SpillConfig,
+    files: Vec<SpillFile>,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+    spill: Option<SpillState>,
+}
+
+/// Thread-safe LRU cache of built grid sets, with an optional on-disk
+/// spill tier for evicted entries (see [`GridCache::with_spill`]).
 pub struct GridCache {
     capacity: usize,
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    spills: AtomicU64,
+    reloads: AtomicU64,
 }
 
 impl GridCache {
     /// Cache holding up to `capacity` grid sets. Capacity 0 disables
     /// caching (every lookup builds and counts as a miss).
     pub fn new(capacity: usize) -> GridCache {
+        Self::build_cache(capacity, None)
+    }
+
+    /// Like [`GridCache::new`], but evicted grid sets spill to disk
+    /// under `spill.dir` and are reloaded — bit-identically — on the
+    /// next miss instead of being rebuilt. The directory is created
+    /// eagerly so a misconfigured path fails at service start, not at
+    /// the first eviction. `capacity` must be at least 1: capacity 0
+    /// disables caching entirely (lookups never install entries, so
+    /// nothing would ever spill) — refusing it here beats silently
+    /// ignoring the spill tier the caller configured.
+    pub fn with_spill(capacity: usize, spill: SpillConfig) -> std::io::Result<GridCache> {
+        if capacity == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a spill tier needs cache capacity >= 1 (capacity 0 disables caching, \
+                 so nothing would ever spill or reload)",
+            ));
+        }
+        std::fs::create_dir_all(&spill.dir)?;
+        Ok(Self::build_cache(
+            capacity,
+            Some(SpillState {
+                cfg: spill,
+                files: Vec::new(),
+            }),
+        ))
+    }
+
+    fn build_cache(capacity: usize, spill: Option<SpillState>) -> GridCache {
         GridCache {
             capacity,
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
                 tick: 0,
+                spill,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         }
     }
 
     /// The grid set for `receptor` on `dims` built at `level`, building
-    /// it (all maps) on a miss. `level` is part of the cache key: two
+    /// it (all maps) on a miss — or, when a spill tier is configured
+    /// and holds this key, reloading the evicted build from disk
+    /// bit-identically instead. `level` is part of the cache key: two
     /// jobs pinned to different SIMD levels never share an entry.
     /// Returns the set and whether it was a hit.
     pub fn get_or_build(
@@ -109,16 +205,27 @@ impl GridCache {
             return (Self::build(receptor, dims, level, monitor), false);
         }
 
-        let (slot, hit) = {
+        let (slot, hit, reload_from, spill_save, spill_delete) = {
             let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
             match inner.entries.iter_mut().find(|e| e.key == key) {
                 Some(e) => {
                     e.last_use = tick;
-                    (Arc::clone(&e.slot), true)
+                    (Arc::clone(&e.slot), true, None, None, Vec::new())
                 }
                 None => {
+                    // A spilled copy of this key is about to get hot
+                    // again: refresh its age so the over-capacity prune
+                    // below prefers genuinely cold files.
+                    let reload = inner.spill.as_mut().and_then(|s| {
+                        s.files.iter_mut().find(|f| f.key == key).map(|f| {
+                            f.tick = tick;
+                            f.path.clone()
+                        })
+                    });
+                    let mut save = None;
+                    let mut delete = Vec::new();
                     if inner.entries.len() >= self.capacity {
                         let lru = inner
                             .entries
@@ -127,8 +234,22 @@ impl GridCache {
                             .min_by_key(|(_, e)| e.last_use)
                             .map(|(i, _)| i)
                             .expect("capacity > 0 and entries is non-empty");
-                        inner.entries.swap_remove(lru);
+                        let evicted = inner.entries.swap_remove(lru);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        // Spill only finished builds: an in-flight
+                        // eviction has nothing to write yet (its slot
+                        // fills after the detached build completes).
+                        if let (Some(state), Some(grids)) =
+                            (inner.spill.as_mut(), evicted.slot.get())
+                        {
+                            save = Self::plan_spill(
+                                state,
+                                evicted.key,
+                                Arc::clone(grids),
+                                tick,
+                                &mut delete,
+                            );
+                        }
                     }
                     let slot = Arc::new(OnceLock::new());
                     inner.entries.push(Entry {
@@ -136,7 +257,7 @@ impl GridCache {
                         slot: Arc::clone(&slot),
                         last_use: tick,
                     });
-                    (slot, false)
+                    (slot, false, reload, save, delete)
                 }
             }
         };
@@ -145,10 +266,153 @@ impl GridCache {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        // Build outside the cache lock: only same-key lookups wait (in
-        // `get_or_init`), never the whole cache.
-        let grids = Arc::clone(slot.get_or_init(|| Self::build(receptor, dims, level, monitor)));
+        // All spill I/O runs outside the cache lock: only same-key
+        // lookups ever wait on disk (or on a build, in `get_or_init`),
+        // never the whole cache.
+        for path in spill_delete {
+            std::fs::remove_file(path).ok();
+        }
+        if let Some((grids, spill_key, path, tick)) = spill_save {
+            if Self::save_atomic(&grids, &path, tick).is_ok() {
+                self.spills.fetch_add(1, Ordering::Relaxed);
+                // A concurrent reload-miss may have hit ENOENT in the
+                // window before our rename landed and deregistered the
+                // file. The file is on disk now: re-register it, or it
+                // would escape the capacity bound (and pruning) for
+                // good.
+                for stale in self.reregister_spill_file(spill_key, &path) {
+                    std::fs::remove_file(stale).ok();
+                }
+            } else {
+                // Nothing usable landed on disk; deregister the file so
+                // a later miss rebuilds instead of chasing a ghost.
+                self.forget_spill_file(&path);
+            }
+        }
+        let grids = Arc::clone(slot.get_or_init(|| {
+            if let Some(path) = &reload_from {
+                match mudock_grids::io::load(path) {
+                    Ok(gs) => {
+                        self.reloads.fetch_add(1, Ordering::Relaxed);
+                        return Arc::new(gs);
+                    }
+                    // Registered but not on disk yet: a concurrent
+                    // spill's rename has not landed. Deregister and
+                    // rebuild (the spiller re-registers once its write
+                    // completes) — but delete nothing, or we could
+                    // race ahead and remove the valid file it is about
+                    // to produce.
+                    Err(mudock_grids::GridIoError::Io(ref io))
+                        if io.kind() == std::io::ErrorKind::NotFound =>
+                    {
+                        self.forget_spill_file(path);
+                    }
+                    // Truncated, corrupt, or foreign: drop the file
+                    // and rebuild — the spill tier is an optimization,
+                    // never a correctness dependency.
+                    Err(_) => {
+                        self.forget_spill_file(path);
+                        std::fs::remove_file(path).ok();
+                    }
+                }
+            }
+            Self::build(receptor, dims, level, monitor)
+        }));
         (grids, hit)
+    }
+
+    /// Register the eviction in the spill file table (bounding it to
+    /// the configured capacity) and hand back what to write — `None`
+    /// when the key is already spilled: grid content is immutable per
+    /// key, so the bytes on disk are identical and rewriting them
+    /// every time a reloaded entry is re-evicted (the steady state of
+    /// targets ping-ponging through a small cache) would be pure
+    /// wasted I/O. The write itself happens outside the cache lock.
+    #[allow(clippy::type_complexity)]
+    fn plan_spill(
+        state: &mut SpillState,
+        key: (u64, SimdLevel),
+        grids: Arc<GridSet>,
+        tick: u64,
+        delete: &mut Vec<PathBuf>,
+    ) -> Option<(Arc<GridSet>, (u64, SimdLevel), PathBuf, u64)> {
+        let path = state
+            .cfg
+            .dir
+            .join(format!("{:016x}-{}.grid", key.0, key.1.name()));
+        Self::register_spill_file(state, key, &path, tick, delete)
+            .then_some((grids, key, path, tick))
+    }
+
+    /// Insert `key` into the file table and collect over-capacity
+    /// victims into `delete`. Returns whether the key is *new* (needs
+    /// its file written); an existing entry just has its age
+    /// refreshed.
+    fn register_spill_file(
+        state: &mut SpillState,
+        key: (u64, SimdLevel),
+        path: &std::path::Path,
+        tick: u64,
+        delete: &mut Vec<PathBuf>,
+    ) -> bool {
+        if let Some(f) = state.files.iter_mut().find(|f| f.key == key) {
+            f.tick = tick;
+            return false;
+        }
+        state.files.push(SpillFile {
+            key,
+            path: path.to_path_buf(),
+            tick,
+        });
+        while state.files.len() > state.cfg.capacity.max(1) {
+            let oldest = state
+                .files
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.tick)
+                .map(|(i, _)| i)
+                .expect("len > capacity >= 1");
+            delete.push(state.files.swap_remove(oldest).path);
+        }
+        true
+    }
+
+    /// Put a just-written spill file back in the table if a racing
+    /// reload-miss deregistered it mid-write; returns any files the
+    /// capacity bound now prunes.
+    fn reregister_spill_file(&self, key: (u64, SimdLevel), path: &std::path::Path) -> Vec<PathBuf> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut delete = Vec::new();
+        if let Some(state) = inner.spill.as_mut() {
+            Self::register_spill_file(state, key, path, tick, &mut delete);
+        }
+        delete
+    }
+
+    /// Write-then-rename so a reader never sees a torn spill file; the
+    /// temp name carries the spill tick so two racing spills of the
+    /// same key cannot interleave into one temp file.
+    fn save_atomic(
+        grids: &GridSet,
+        path: &std::path::Path,
+        tick: u64,
+    ) -> Result<(), mudock_grids::GridIoError> {
+        let tmp = path.with_extension(format!("tmp{tick}"));
+        mudock_grids::io::save(grids, &tmp)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    fn forget_spill_file(&self, path: &std::path::Path) {
+        let mut inner = self.inner.lock();
+        if let Some(s) = &mut inner.spill {
+            s.files.retain(|f| f.path != path);
+        }
     }
 
     fn build(
@@ -167,11 +431,15 @@ impl GridCache {
     }
 
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().entries.len(),
+            spills: self.spills.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            entries: inner.entries.len(),
+            spilled: inner.spill.as_ref().map_or(0, |s| s.files.len()),
         }
     }
 
@@ -270,6 +538,96 @@ mod tests {
         let region = monitor.region(GRID_BUILD_REGION).expect("region recorded");
         assert_eq!(region.invocations, 1, "the hit must not rebuild");
         assert!(region.bytes_written > 0);
+    }
+
+    fn spill_dir(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mudock-spill-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn spill_refuses_a_capacity_that_can_never_spill() {
+        let dir = spill_dir("zero-cap");
+        let err = match GridCache::with_spill(0, SpillConfig::new(&dir)) {
+            Err(e) => e,
+            Ok(_) => panic!("capacity 0 with a spill tier must be refused"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn eviction_spills_and_the_next_miss_reloads_bit_identically() {
+        let dir = spill_dir("reload");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = GridCache::with_spill(1, SpillConfig::new(&dir)).unwrap();
+        let r1 = synthetic_receptor(1, 30, 5.0);
+        let r2 = synthetic_receptor(2, 30, 5.0);
+        let (built, _) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        cache.get_or_build(&r2, dims(), SimdLevel::detect(), None); // evicts + spills r1
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.spills, s.spilled), (1, 1, 1));
+
+        let (reloaded, hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert!(!hit, "a reload is still a miss (the entry was evicted)");
+        assert_eq!(cache.stats().reloads, 1);
+        assert!(
+            !Arc::ptr_eq(&built, &reloaded),
+            "the reload must come from disk, not a retained allocation"
+        );
+        assert_eq!(built.dims, reloaded.dims);
+        assert_eq!(built.built, reloaded.built);
+        for (a, b) in built.data.iter().zip(&reloaded.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_directory_is_bounded() {
+        let dir = spill_dir("bounded");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = GridCache::with_spill(
+            1,
+            SpillConfig {
+                dir: dir.clone(),
+                capacity: 2,
+            },
+        )
+        .unwrap();
+        // Four receptors through a capacity-1 cache: three evictions,
+        // three spills, but only the two newest files survive on disk.
+        for seed in 1..=4 {
+            let r = synthetic_receptor(seed, 25, 5.0);
+            cache.get_or_build(&r, dims(), SimdLevel::detect(), None);
+        }
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.spills, s.spilled), (3, 3, 2));
+        let on_disk = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(on_disk, 2, "the oldest spill file must be deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_spill_files_fall_back_to_a_rebuild() {
+        let dir = spill_dir("corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = GridCache::with_spill(1, SpillConfig::new(&dir)).unwrap();
+        let r1 = synthetic_receptor(1, 30, 5.0);
+        let r2 = synthetic_receptor(2, 30, 5.0);
+        let (built, _) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        cache.get_or_build(&r2, dims(), SimdLevel::detect(), None);
+        // Stomp the spilled file: the reload must fail closed into a
+        // rebuild, and the ghost entry must be forgotten.
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
+        std::fs::write(file.path(), b"not a grid file").unwrap();
+        let (rebuilt, hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert!(!hit);
+        let s = cache.stats();
+        assert_eq!(s.reloads, 0, "a corrupt file is not a reload");
+        assert_eq!(s.spilled, 1, "r2's spill remains; r1's ghost is gone");
+        for (a, b) in built.data.iter().zip(&rebuilt.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,11 +11,19 @@
 //!   priorities, cancellation, and backpressure: when the queue is full,
 //!   `try_submit` refuses and `submit` blocks, so a burst of requests
 //!   degrades to queuing delay instead of memory growth;
+//! * **shard router** ([`shard`]) — dequeues arbitrate executor slots
+//!   across per-receptor shard groups (keyed by grid content
+//!   fingerprint), so a burst of jobs against one hot target cannot
+//!   monopolize the node; campaigns choose their stance through
+//!   [`ShardPolicy`](mudock_core::ShardPolicy) (fair-share, weighted,
+//!   or single-queue passthrough);
 //! * **grid cache** ([`cache`]) — built [`GridSet`](mudock_grids::GridSet)s
 //!   are LRU-cached by receptor/geometry content fingerprints
 //!   ([`mudock_grids::hash`]), so repeat jobs against a hot target skip
 //!   the dominant fixed cost; hit/miss counters and build timings are
-//!   surfaced through [`mudock_perf::PerfMonitor`];
+//!   surfaced through [`mudock_perf::PerfMonitor`]; with a
+//!   [`SpillConfig`], evicted grid sets spill to a bounded on-disk tier
+//!   and reload bit-identically instead of rebuilding;
 //! * **streaming ingest** ([`ingest`]) — ligands are pulled lazily in
 //!   chunks (from synthetic generators or multi-model PDBQT via
 //!   [`mudock_molio::stream`]) and fanned out over `mudock-pool`'s
@@ -83,10 +91,11 @@ pub mod job;
 pub mod net;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod sink;
 pub mod wire;
 
-pub use cache::{CacheStats, GridCache};
+pub use cache::{CacheStats, GridCache, SpillConfig};
 pub use ingest::LigandSource;
 pub use job::{
     ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, Priority, ProgressFn,
@@ -95,5 +104,6 @@ pub use job::{
 pub use net::{NetConfig, NetServer};
 pub use queue::SubmitError;
 pub use server::{default_dims, ScreenService, ServeConfig, ServiceStats};
+pub use shard::ShardStat;
 pub use sink::{Checkpoint, JsonlSink};
 pub use wire::{JobStatus, ReceptorSource, WireError};

@@ -942,6 +942,7 @@ mod tests {
             job_slots: 1,
             queue_capacity: 2,
             cache_capacity: 1,
+            ..ServeConfig::default()
         }))
     }
 
@@ -963,6 +964,13 @@ mod tests {
         let v = wire::parse(&resp.body).unwrap();
         assert!(v.get("cache").is_some());
         assert!(v.get("queue_capacity").is_some());
+        // Sharding and spill telemetry is part of the stats contract.
+        assert_eq!(v.get("shard_count"), Some(&wire::Json::usize(0)));
+        assert!(matches!(v.get("shards"), Some(wire::Json::Arr(a)) if a.is_empty()));
+        let cache = v.get("cache").unwrap();
+        assert!(cache.get("spills").is_some());
+        assert!(cache.get("reloads").is_some());
+        assert!(cache.get("spilled").is_some());
         server.shutdown();
         service.shutdown();
     }

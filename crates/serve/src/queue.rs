@@ -2,15 +2,19 @@
 //!
 //! The admission edge of the service: a fixed-capacity queue so a burst
 //! of submissions degrades to queueing delay (or an explicit
-//! [`SubmitError::Full`]) instead of unbounded memory growth. Higher
-//! [`Priority`](crate::job::Priority) jobs dequeue first; within a priority, submission order
-//! (FIFO) wins. Cancellation is lazy — a cancelled job stays queued and
-//! is discarded by the executor when popped, which keeps the hot path
-//! free of queue surgery.
+//! [`SubmitError::Full`]) instead of unbounded memory growth. Dequeue
+//! order is decided by the `ShardRouter` ([`crate::shard`]): the
+//! least-served receptor
+//! shard first, then [`Priority`](crate::job::Priority), then
+//! submission order (FIFO) — with a single receptor in play this is
+//! exactly priority-then-FIFO. Cancellation is lazy — a cancelled job
+//! stays queued and is discarded by the executor when popped, which
+//! keeps the hot path free of queue surgery.
 
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::job::{JobShared, JobSpec};
+use crate::shard::{shard_info, ShardInfo, ShardRouter};
 
 /// Why a submission was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +41,9 @@ pub(crate) struct QueuedJob {
     pub spec: JobSpec,
     pub shared: Arc<JobShared>,
     /// Submission sequence number — the FIFO tie-breaker.
-    seq: u64,
+    pub seq: u64,
+    /// Which receptor shard the job belongs to (computed at push).
+    pub shard: ShardInfo,
 }
 
 struct Inner {
@@ -46,16 +52,25 @@ struct Inner {
     closed: bool,
 }
 
-/// Bounded, priority-ordered, thread-safe job queue.
+/// Bounded, shard/priority-ordered, thread-safe job queue.
 pub(crate) struct JobQueue {
     inner: Mutex<Inner>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    router: Arc<ShardRouter>,
 }
 
 impl JobQueue {
+    /// A queue with its own router (pure priority/FIFO until shards
+    /// diverge) — the unit-test constructor.
+    #[cfg(test)]
     pub fn new(capacity: usize) -> JobQueue {
+        JobQueue::with_router(capacity, Arc::new(ShardRouter::new(usize::MAX, 0)))
+    }
+
+    /// A queue whose dequeue order is arbitrated by `router`.
+    pub fn with_router(capacity: usize, router: Arc<ShardRouter>) -> JobQueue {
         JobQueue {
             inner: Mutex::new(Inner {
                 jobs: Vec::new(),
@@ -65,6 +80,7 @@ impl JobQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            router,
         }
     }
 
@@ -78,6 +94,9 @@ impl JobQueue {
 
     /// Enqueue without blocking; refuses when full or closed.
     pub fn try_submit(&self, spec: JobSpec, shared: Arc<JobShared>) -> Result<(), SubmitError> {
+        // Fingerprint before taking the lock: hashing the receptor is
+        // O(atoms) and must not serialize submitters or block pop().
+        let shard = shard_info(&spec);
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(SubmitError::Shutdown);
@@ -85,20 +104,21 @@ impl JobQueue {
         if inner.jobs.len() >= self.capacity {
             return Err(SubmitError::Full);
         }
-        Self::push(&mut inner, spec, shared);
+        self.push(&mut inner, spec, shared, shard);
         self.not_empty.notify_one();
         Ok(())
     }
 
     /// Enqueue, blocking while the queue is full (the backpressure path).
     pub fn submit(&self, spec: JobSpec, shared: Arc<JobShared>) -> Result<(), SubmitError> {
+        let shard = shard_info(&spec);
         let mut inner = self.inner.lock().unwrap();
         loop {
             if inner.closed {
                 return Err(SubmitError::Shutdown);
             }
             if inner.jobs.len() < self.capacity {
-                Self::push(&mut inner, spec, shared);
+                self.push(&mut inner, spec, shared, shard);
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -106,19 +126,30 @@ impl JobQueue {
         }
     }
 
-    fn push(inner: &mut Inner, spec: JobSpec, shared: Arc<JobShared>) {
+    fn push(&self, inner: &mut Inner, spec: JobSpec, shared: Arc<JobShared>, shard: ShardInfo) {
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.jobs.push(QueuedJob { spec, shared, seq });
+        self.router.enqueued(shard);
+        inner.jobs.push(QueuedJob {
+            spec,
+            shared,
+            seq,
+            shard,
+        });
     }
 
-    /// Dequeue the best job, blocking while the queue is empty. Returns
-    /// `None` once the queue is closed *and* drained — the executors'
-    /// termination signal.
+    /// Dequeue the best job, blocking while the queue is empty. "Best"
+    /// is the [`ShardRouter`]'s call: least-served shard, then
+    /// priority, then FIFO (linear scan — the queue is bounded and
+    /// small by construction). The router accounts the job as started;
+    /// the executor must hand it back via
+    /// [`ShardRouter::finished`] when done. Returns `None` once the
+    /// queue is closed *and* drained — the executors' termination
+    /// signal.
     pub fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(best) = Self::best_index(&inner.jobs) {
+            if let Some(best) = self.router.select(&inner.jobs) {
                 let job = inner.jobs.swap_remove(best);
                 self.not_full.notify_one();
                 return Some(job);
@@ -128,15 +159,6 @@ impl JobQueue {
             }
             inner = self.not_empty.wait(inner).unwrap();
         }
-    }
-
-    /// Highest priority first; earliest submission within a priority.
-    /// Linear scan: the queue is bounded and small by construction.
-    fn best_index(jobs: &[QueuedJob]) -> Option<usize> {
-        jobs.iter()
-            .enumerate()
-            .max_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.seq)))
-            .map(|(i, _)| i)
     }
 
     /// Refuse new submissions and wake every blocked submitter/popper.

@@ -20,15 +20,16 @@ use mudock_grids::{grid_cache_key, Fnv64, GridDims};
 use mudock_mol::Molecule;
 use mudock_perf::PerfMonitor;
 
-use crate::cache::{CacheStats, GridCache};
+use crate::cache::{CacheStats, GridCache, SpillConfig};
 use crate::job::{
     ChunkProgress, JobHandle, JobOutcome, JobShared, JobSpec, JobState, RankedLigand,
 };
 use crate::queue::{JobQueue, SubmitError};
+use crate::shard::{ShardRouter, ShardStat};
 use crate::sink::{Checkpoint, JsonlSink};
 
-/// Service sizing. `Default` fits a CI host; production tunes all four.
-#[derive(Clone, Copy, Debug)]
+/// Service sizing. `Default` fits a CI host; production tunes all of it.
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Docking worker threads shared by all concurrently running jobs.
     pub total_threads: usize,
@@ -39,6 +40,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Grid sets kept resident (LRU beyond this).
     pub cache_capacity: usize,
+    /// Receptor shard groups the executor slots are partitioned into:
+    /// each shard is soft-capped at `job_slots / shards` concurrent
+    /// executors while other shards have work queued. 0 (the default)
+    /// derives the cap from the number of receptors live at each
+    /// dequeue instead of pinning it.
+    pub shards: usize,
+    /// Spill evicted grid sets to this bounded on-disk tier and reload
+    /// them on the next miss instead of rebuilding. `None` (the
+    /// default) rebuilds after eviction, as before.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +59,8 @@ impl Default for ServeConfig {
             job_slots: 2,
             queue_capacity: 64,
             cache_capacity: 4,
+            shards: 0,
+            spill: None,
         }
     }
 }
@@ -66,6 +79,9 @@ pub struct ServiceStats {
     /// Jobs executing right now.
     pub active: usize,
     pub cache: CacheStats,
+    /// Per-receptor shard groups (depth, occupancy, weight) — every
+    /// shard this service has seen, sorted by fingerprint.
+    pub shards: Vec<ShardStat>,
 }
 
 #[derive(Default)]
@@ -83,6 +99,7 @@ struct ExecCtx {
     monitor: Arc<PerfMonitor>,
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
+    router: Arc<ShardRouter>,
     total_threads: usize,
 }
 
@@ -100,26 +117,44 @@ pub struct ScreenService {
     monitor: Arc<PerfMonitor>,
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
+    router: Arc<ShardRouter>,
     next_id: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ScreenService {
-    /// Spawn the executors and return the running service.
+    /// Spawn the executors and return the running service. Panics when
+    /// a configured spill directory cannot be created; use
+    /// [`ScreenService::try_start`] to handle that as an error.
     pub fn start(cfg: ServeConfig) -> ScreenService {
-        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
-        let cache = Arc::new(GridCache::new(cfg.cache_capacity));
+        Self::try_start(cfg).expect("spill directory must be creatable")
+    }
+
+    /// Fallible [`ScreenService::start`]: the only runtime failure is
+    /// preparing the spill directory.
+    pub fn try_start(cfg: ServeConfig) -> std::io::Result<ScreenService> {
+        let job_slots = cfg.job_slots.max(1);
+        let router = Arc::new(ShardRouter::new(job_slots, cfg.shards));
+        let queue = Arc::new(JobQueue::with_router(
+            cfg.queue_capacity,
+            Arc::clone(&router),
+        ));
+        let cache = Arc::new(match cfg.spill {
+            Some(spill) => GridCache::with_spill(cfg.cache_capacity, spill)?,
+            None => GridCache::new(cfg.cache_capacity),
+        });
         let monitor = Arc::new(PerfMonitor::new());
         let counters = Arc::new(Counters::default());
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::new();
-        for _ in 0..cfg.job_slots.max(1) {
+        for _ in 0..job_slots {
             let queue = Arc::clone(&queue);
             let ctx = ExecCtx {
                 cache: Arc::clone(&cache),
                 monitor: Arc::clone(&monitor),
                 counters: Arc::clone(&counters),
                 active: Arc::clone(&active),
+                router: Arc::clone(&router),
                 total_threads: cfg.total_threads.max(1),
             };
             workers.push(std::thread::spawn(move || {
@@ -147,18 +182,23 @@ impl ScreenService {
                         });
                     }
                     ctx.active.fetch_sub(1, Ordering::SeqCst);
+                    // Hand the shard slot back *after* the job fully
+                    // settles, so occupancy never undercounts a job
+                    // whose outcome is still being published.
+                    ctx.router.finished(job.shard);
                 }
             }));
         }
-        ScreenService {
+        Ok(ScreenService {
             queue,
             cache,
             monitor,
             counters,
             active,
+            router,
             next_id: AtomicU64::new(1),
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     fn register(&self, spec: &JobSpec) -> Arc<JobShared> {
@@ -194,6 +234,7 @@ impl ScreenService {
             queued: self.queue.len(),
             active: self.active.load(Ordering::SeqCst),
             cache: self.cache.stats(),
+            shards: self.router.snapshot(),
         }
     }
 

@@ -86,7 +86,7 @@ use std::time::Duration;
 
 use mudock_core::{
     Backend, BackendPolicy, Campaign, CampaignError, CampaignSpec, ChunkPolicy, GaParams,
-    SolisWetsParams, StopPolicy,
+    ShardPolicy, SolisWetsParams, StopPolicy,
 };
 use mudock_grids::GridDims;
 use mudock_mol::{Molecule, Vec3};
@@ -717,6 +717,7 @@ pub fn campaign_to_json(spec: &CampaignSpec) -> Json {
         ("backend".into(), backend_to_json(spec.backend)),
         ("stop".into(), stop_to_json(spec.stop)),
         ("chunk".into(), chunk_to_json(spec.chunk)),
+        ("shard".into(), shard_to_json(spec.shard)),
     ];
     if let Some(r) = spec.search_radius {
         members.push(("search_radius".into(), Json::f32(r)));
@@ -782,6 +783,14 @@ fn stop_to_json(policy: StopPolicy) -> Json {
     }
 }
 
+fn shard_to_json(policy: ShardPolicy) -> Json {
+    match policy {
+        ShardPolicy::FairShare => Json::str("fair_share"),
+        ShardPolicy::SingleQueue => Json::str("single_queue"),
+        ShardPolicy::Weighted(w) => Json::Obj(vec![("weighted".into(), Json::f32(w))]),
+    }
+}
+
 fn chunk_to_json(policy: ChunkPolicy) -> Json {
     match policy {
         ChunkPolicy::Fixed(n) => Json::Obj(vec![("fixed".into(), Json::usize(n))]),
@@ -829,6 +838,9 @@ pub fn campaign_from_json(v: &Json) -> Result<CampaignSpec, WireError> {
     }
     if let Some(c) = v.get("chunk").filter(|g| !matches!(g, Json::Null)) {
         builder = builder.chunk(chunk_from_json(c)?);
+    }
+    if let Some(s) = v.get("shard").filter(|g| !matches!(g, Json::Null)) {
+        builder = builder.shard(shard_from_json(s)?);
     }
     if let Some(d) = v.get("grid_dims").filter(|g| !matches!(g, Json::Null)) {
         builder = builder.grid_dims(grid_dims_from_json(d)?);
@@ -921,6 +933,25 @@ fn stop_from_json(v: &Json) -> Result<StopPolicy, WireError> {
             }
         }
         _ => Err(WireError::invalid("stop", "expected a string or object")),
+    }
+}
+
+fn shard_from_json(v: &Json) -> Result<ShardPolicy, WireError> {
+    match v {
+        Json::Str(s) if s == "fair_share" => Ok(ShardPolicy::FairShare),
+        Json::Str(s) if s == "single_queue" => Ok(ShardPolicy::SingleQueue),
+        Json::Str(s) => Err(WireError::invalid(
+            "shard",
+            format!(
+                "unknown policy '{s}' (use \"fair_share\", \"single_queue\", or \
+                 {{\"weighted\": w}})"
+            ),
+        )),
+        Json::Obj(_) => match get_f32(v, "weighted")? {
+            Some(w) => Ok(ShardPolicy::Weighted(w)),
+            None => Err(WireError::invalid("shard", "expected a 'weighted' member")),
+        },
+        _ => Err(WireError::invalid("shard", "expected a string or object")),
     }
 }
 
@@ -1361,8 +1392,25 @@ pub fn status_from_json(v: &Json) -> Result<JobStatus, WireError> {
     })
 }
 
-/// Encode [`ServiceStats`] (the `GET /stats` body).
+/// Encode [`ServiceStats`] (the `GET /stats` body). `shards` lists
+/// every receptor shard the service has seen — depth (`queued`),
+/// occupancy (`active`), weight, and cumulative submissions per shard
+/// — and `shard_count` its length, so scripts can assert multi-receptor
+/// behavior without walking the array.
 pub fn stats_to_json(stats: &ServiceStats) -> Json {
+    let shards: Vec<Json> = stats
+        .shards
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("key".into(), Json::str(format!("{:016x}", s.key))),
+                ("queued".into(), Json::usize(s.queued)),
+                ("active".into(), Json::usize(s.active)),
+                ("weight".into(), Json::f32(s.weight)),
+                ("submitted".into(), Json::u64(s.submitted)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("jobs_submitted".into(), Json::u64(stats.jobs_submitted)),
         ("jobs_completed".into(), Json::u64(stats.jobs_completed)),
@@ -1371,13 +1419,18 @@ pub fn stats_to_json(stats: &ServiceStats) -> Json {
         ("ligands_docked".into(), Json::u64(stats.ligands_docked)),
         ("queued".into(), Json::usize(stats.queued)),
         ("active".into(), Json::usize(stats.active)),
+        ("shard_count".into(), Json::usize(stats.shards.len())),
+        ("shards".into(), Json::Arr(shards)),
         (
             "cache".into(),
             Json::Obj(vec![
                 ("hits".into(), Json::u64(stats.cache.hits)),
                 ("misses".into(), Json::u64(stats.cache.misses)),
                 ("evictions".into(), Json::u64(stats.cache.evictions)),
+                ("spills".into(), Json::u64(stats.cache.spills)),
+                ("reloads".into(), Json::u64(stats.cache.reloads)),
                 ("entries".into(), Json::usize(stats.cache.entries)),
+                ("spilled".into(), Json::usize(stats.cache.spilled)),
                 ("hit_rate".into(), Json::f64(stats.cache.hit_rate())),
             ]),
         ),

@@ -100,6 +100,7 @@ fn concurrent_jobs_share_the_grid_cache_and_stream_results() {
         job_slots: 2,
         queue_capacity: 8,
         cache_capacity: 2,
+        ..ServeConfig::default()
     });
 
     let jsonl_a = tmp("concurrent-a.jsonl");
@@ -194,6 +195,7 @@ fn cancelled_job_resumes_from_its_checkpoint() {
         job_slots: 1,
         queue_capacity: 4,
         cache_capacity: 2,
+        ..ServeConfig::default()
     });
     let jsonl = tmp("resume.jsonl");
     let ckpt = tmp("resume.ckpt");
@@ -285,6 +287,7 @@ fn jobs_pinned_to_different_levels_get_distinct_grids_and_agreeing_rankings() {
         job_slots: 2,
         queue_capacity: 8,
         cache_capacity: 4,
+        ..ServeConfig::default()
     });
     let submit = |level: SimdLevel| {
         let mut s = spec(&format!("pinned-{level}"));
@@ -359,6 +362,7 @@ fn ranking_stable_policy_stops_the_job_early_with_a_consistent_ranking() {
         job_slots: 1,
         queue_capacity: 4,
         cache_capacity: 2,
+        ..ServeConfig::default()
     });
     let mut s = JobSpec {
         receptor: receptor(),
@@ -416,6 +420,7 @@ fn queue_applies_backpressure_and_priority_order() {
         job_slots: 1,
         queue_capacity: 2,
         cache_capacity: 2,
+        ..ServeConfig::default()
     });
 
     let completion_order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));

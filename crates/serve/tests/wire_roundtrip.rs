@@ -8,8 +8,8 @@
 use std::time::Duration;
 
 use mudock_core::{
-    Backend, BackendPolicy, Campaign, CampaignSpec, ChunkPolicy, GaParams, SolisWetsParams,
-    StopPolicy, MAX_CHUNK,
+    Backend, BackendPolicy, Campaign, CampaignSpec, ChunkPolicy, GaParams, ShardPolicy,
+    SolisWetsParams, StopPolicy, MAX_CHUNK, MAX_SHARD_WEIGHT,
 };
 use mudock_grids::GridDims;
 use mudock_mol::Vec3;
@@ -51,6 +51,14 @@ fn chunk_policy() -> impl Strategy<Value = ChunkPolicy> {
     )
 }
 
+fn shard_policy() -> impl Strategy<Value = ShardPolicy> {
+    prop_oneof!(
+        (0u64..2).prop_map(|_| ShardPolicy::FairShare),
+        (0u64..2).prop_map(|_| ShardPolicy::SingleQueue),
+        (f32::MIN_POSITIVE..MAX_SHARD_WEIGHT).prop_map(ShardPolicy::Weighted),
+    )
+}
+
 fn ga_params() -> impl Strategy<Value = GaParams> {
     (
         (2usize..500, 1usize..2000, 1usize..8),
@@ -82,6 +90,7 @@ fn campaign_spec() -> impl Strategy<Value = CampaignSpec> {
         backend_policy(),
         stop_policy(),
         chunk_policy(),
+        shard_policy(),
         (0u64..4, 0.5f32..20.0, 0u64..4, 5.0f32..14.0),
     )
         .prop_map(
@@ -91,6 +100,7 @@ fn campaign_spec() -> impl Strategy<Value = CampaignSpec> {
                 backend,
                 stop,
                 chunk,
+                shard,
                 (with_radius, radius, with_dims, extent),
             )| {
                 let mut b = Campaign::builder()
@@ -100,7 +110,8 @@ fn campaign_spec() -> impl Strategy<Value = CampaignSpec> {
                     .ga(ga)
                     .backend(backend)
                     .stop(stop)
-                    .chunk(chunk);
+                    .chunk(chunk)
+                    .shard(shard);
                 if with_radius == 0 {
                     b = b.search_radius(radius);
                 }
@@ -244,6 +255,22 @@ fn malformed_inputs_map_to_the_right_wire_errors() {
         ),
         (
             r#"{"campaign": {"name": "x", "ga": {"population": 1}},
+                "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
+                "ligands": {"synth": {"count": 2}}}"#,
+            |e| matches!(e, WireError::Campaign(_)),
+            422,
+        ),
+        // Unknown shard policy → Invalid → 400; a weight the builder
+        // refuses (zero) → Campaign → 422.
+        (
+            r#"{"campaign": {"name": "x", "shard": "round_robin"},
+                "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
+                "ligands": {"synth": {"count": 2}}}"#,
+            |e| matches!(e, WireError::Invalid { .. }),
+            400,
+        ),
+        (
+            r#"{"campaign": {"name": "x", "shard": {"weighted": 0.0}},
                 "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
                 "ligands": {"synth": {"count": 2}}}"#,
             |e| matches!(e, WireError::Campaign(_)),

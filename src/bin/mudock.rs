@@ -34,13 +34,13 @@ use std::process::ExitCode;
 
 use mudock::core::{
     screen_campaign, Backend, BackendPolicy, Campaign, CampaignError, CampaignSpec, ChunkPolicy,
-    DockingEngine, GaParams, LigandPrep, SolisWetsParams, StopPolicy,
+    DockingEngine, GaParams, LigandPrep, ShardPolicy, SolisWetsParams, StopPolicy,
 };
 use mudock::grids::{GridBuilder, GridDims};
 use mudock::mol::{Molecule, Vec3};
 
 fn usage() -> &'static str {
-    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n  mudock serve --listen ADDR [--jobs J] [--threads T] [--results DIR]\n  mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L) [options]\n  mudock poll --addr HOST:PORT ID [--wait] [--results] [--cancel] [--interval-ms MS]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)\n\nnetwork options:\n  --listen ADDR     serve the HTTP API on ADDR (port 0 picks one; serve only)\n  --results DIR     per-job JSONL result files (serve --listen only)\n  --allow-path-sources  accept server-side {\"path\": ...} sources (off by default)\n  --addr HOST:PORT  server to talk to (submit/poll)\n  --name NAME       campaign name (submit, default 'remote')\n  --priority P      low|normal|high (submit, default normal)\n  --ligands FILE    multi-model PDBQT ligand library (submit)\n  --wait            poll until the job is terminal\n  --results (poll)  print the job's JSONL results\n  --cancel          request cancellation\n  --interval-ms MS  poll interval for --wait (default 100)"
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n  mudock serve --listen ADDR [--jobs J] [--threads T] [--results DIR]\n  mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L) [options]\n  mudock poll --addr HOST:PORT ID [--wait] [--results] [--cancel] [--interval-ms MS]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n  --shard-weight W  relative executor share vs other receptors (default 1)\n  --single-queue    opt out of receptor sharding (pure priority/FIFO)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --shards N        receptor shard groups slots are split across\n                    (serve only; default 0 = one per live receptor)\n  --cache N         grid sets kept resident (serve only, default 4)\n  --spill-dir DIR   spill evicted grids to DIR and reload on the next\n                    miss instead of rebuilding (serve only)\n  --spill-cap N     spill files kept in --spill-dir (default 16)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)\n\nnetwork options:\n  --listen ADDR     serve the HTTP API on ADDR (port 0 picks one; serve only)\n  --results DIR     per-job JSONL result files (serve --listen only)\n  --allow-path-sources  accept server-side {\"path\": ...} sources (off by default)\n  --addr HOST:PORT  server to talk to (submit/poll)\n  --name NAME       campaign name (submit, default 'remote')\n  --priority P      low|normal|high (submit, default normal)\n  --ligands FILE    multi-model PDBQT ligand library (submit)\n  --receptor-seed S synthetic receptor seed for submit --demo, so two\n                    submissions can target different receptors/shards\n  --wait            poll until the job is terminal\n  --results (poll)  print the job's JSONL results\n  --cancel          request cancellation\n  --interval-ms MS  poll interval for --wait (default 100)"
 }
 
 /// CLI failure with its exit code: usage/validation errors (exit 2,
@@ -178,6 +178,16 @@ fn campaign_from(flags: &HashMap<String, String>, name: &str) -> Result<Campaign
     } else {
         ChunkPolicy::Fixed(num(flags, "chunk", 16usize)?)
     });
+    if flags.contains_key("single-queue") && flags.contains_key("shard-weight") {
+        return Err(CliError::Usage(
+            "--single-queue opts out of sharding; it conflicts with --shard-weight".into(),
+        ));
+    }
+    if flags.contains_key("single-queue") {
+        builder = builder.shard(ShardPolicy::SingleQueue);
+    } else if flags.contains_key("shard-weight") {
+        builder = builder.shard_weight(num(flags, "shard-weight", 1.0f32)?);
+    }
     let stop_flags: Vec<&str> = ["max-evals", "deadline-s", "stable-window"]
         .into_iter()
         .filter(|k| flags.contains_key(*k))
@@ -387,11 +397,51 @@ fn cmd_screen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The service sizing every `serve` mode shares, from the flag set:
+/// `--threads`, `--jobs`, `--shards`, `--cache`, and the spill tier
+/// (`--spill-dir`, `--spill-cap`).
+fn serve_config_from(
+    flags: &HashMap<String, String>,
+    job_slots: usize,
+    threads: usize,
+) -> Result<mudock::serve::ServeConfig, CliError> {
+    use mudock::serve::{ServeConfig, SpillConfig};
+    let defaults = ServeConfig::default();
+    let spill = match flags.get("spill-dir").filter(|d| !d.is_empty()) {
+        Some(dir) => Some(SpillConfig {
+            dir: dir.into(),
+            capacity: num(flags, "spill-cap", 16usize)?.max(1),
+        }),
+        None => {
+            if flags.contains_key("spill-cap") {
+                return Err(CliError::Usage("--spill-cap needs --spill-dir".into()));
+            }
+            None
+        }
+    };
+    let cache_capacity = num(flags, "cache", defaults.cache_capacity)?;
+    if spill.is_some() && cache_capacity == 0 {
+        return Err(CliError::Usage(
+            "--spill-dir needs --cache >= 1: capacity 0 disables caching entirely, \
+             so nothing would ever spill or reload"
+                .into(),
+        ));
+    }
+    Ok(ServeConfig {
+        total_threads: threads,
+        job_slots,
+        shards: num(flags, "shards", 0usize)?,
+        cache_capacity,
+        spill,
+        ..defaults
+    })
+}
+
 /// Demo of the screening service: J concurrent jobs against one shared
 /// synthetic receptor, showing the grid cache, fair thread sharing, and
 /// incremental top-k sinks in action.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    use mudock::serve::{JobSpec, LigandSource, ScreenService, ServeConfig};
+    use mudock::serve::{JobSpec, LigandSource, ScreenService};
     use std::sync::Arc;
 
     if flags.contains_key("listen") {
@@ -412,11 +462,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         c
     };
 
-    let service = ScreenService::start(ServeConfig {
-        total_threads: threads,
-        job_slots: jobs.min(threads).max(1),
-        ..ServeConfig::default()
-    });
+    let cfg = serve_config_from(flags, jobs.min(threads).max(1), threads)?;
+    let service = ScreenService::try_start(cfg)
+        .map_err(|e| CliError::Run(format!("starting service: {e}")))?;
     let receptor = Arc::new(demo_receptor());
 
     eprintln!("serving {jobs} jobs × {n} ligands on {threads} threads…");
@@ -486,7 +534,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
 /// until killed. The resolved address (important for `--listen …:0`)
 /// is printed to stdout so scripts can capture the port.
 fn cmd_serve_listen(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    use mudock::serve::{NetConfig, NetServer, ScreenService, ServeConfig};
+    use mudock::serve::{NetConfig, NetServer, ScreenService};
     use std::sync::Arc;
 
     let addr = flags
@@ -495,11 +543,11 @@ fn cmd_serve_listen(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("--listen needs an ADDR (e.g. 127.0.0.1:7979)".into()))?;
     let jobs: usize = num(flags, "jobs", 2usize)?.max(1);
     let threads = num(flags, "threads", mudock::pool::default_threads())?;
-    let service = Arc::new(ScreenService::start(ServeConfig {
-        total_threads: threads,
-        job_slots: jobs,
-        ..ServeConfig::default()
-    }));
+    let cfg = serve_config_from(flags, jobs, threads)?;
+    let service = Arc::new(
+        ScreenService::try_start(cfg)
+            .map_err(|e| CliError::Run(format!("starting service: {e}")))?,
+    );
     let mut cfg = NetConfig::default();
     if let Some(dir) = flags.get("results").filter(|d| !d.is_empty()) {
         cfg.results_dir = dir.into();
@@ -547,12 +595,14 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
         let n = demo_count(flags, 16)?;
         let mut spec = demo_campaign(flags, &name)?;
         // The same synthetic complex (and lattice) the local serve
-        // demo screens.
+        // demo screens — unless --receptor-seed picks a different
+        // synthetic target, which lands the job in its own shard (the
+        // multi-receptor testing hook the CI shard smoke uses).
         spec.grid_dims = Some(demo_grid_dims());
         (
             spec,
             ReceptorSource::Synth {
-                seed: DEMO_RECEPTOR_SEED,
+                seed: num(flags, "receptor-seed", DEMO_RECEPTOR_SEED)?,
                 atoms: DEMO_RECEPTOR_ATOMS,
                 radius: DEMO_RECEPTOR_RADIUS,
             },
@@ -653,8 +703,8 @@ fn main() -> ExitCode {
     // for `serve` it takes a directory.
     let boolean: &[&str] = match cmd.as_str() {
         "poll" => &["wait", "cancel", "results"],
-        "serve" => &["local-search", "allow-path-sources"],
-        "dock" | "screen" | "submit" => &["local-search"],
+        "serve" => &["local-search", "allow-path-sources", "single-queue"],
+        "dock" | "screen" | "submit" => &["local-search", "single-queue"],
         _ => &[],
     };
     let (flags, positional) = parse_args(&args[1..], boolean);
