@@ -6,20 +6,22 @@
 //!     <current.json> <baseline.json> [tolerance]
 //! ```
 //!
-//! Exits non-zero when any throughput metric in `current` falls more
-//! than `tolerance` (default 0.25, i.e. ±25 %) *below* its baseline —
-//! speedups never fail the gate, they are reported so the baseline can
-//! be ratcheted. Metrics compared: top-level `ligands_per_sec` (the
-//! in-process service path), `net.ligands_per_sec` (the loopback HTTP
-//! path), and `multi.ligands_per_sec` (the multi-receptor shard/spill
-//! path) when both files carry them; a metric present in only one
-//! file is reported and skipped, so adding a new datapoint does not
-//! break the gate on the commit that introduces it.
+//! Gated metrics are discovered, not hardcoded: every numeric leaf
+//! whose dotted path ends in `ligands_per_sec` (throughput, higher is
+//! better) or `p99_ms` (latency, lower is better) is gated when both
+//! files carry it. Exits non-zero when a throughput metric falls more
+//! than `tolerance` (default 0.25, i.e. ±25 %) *below* its baseline, or
+//! a latency metric rises more than `tolerance` *above* it — speedups
+//! never fail the gate, they are reported so the baseline can be
+//! ratcheted. A metric present in only one file is reported and
+//! skipped, so adding a new datapoint (or retiring an old one) does not
+//! break the gate on the commit that changes it.
 //!
 //! The JSON is read with `mudock_serve::wire::parse` — the same
 //! dependency-free parser the network frontend trusts with socket
 //! bytes.
 
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use mudock_serve::wire::{self, Json};
@@ -40,6 +42,31 @@ fn metric(v: &Json, path: &str) -> Option<f64> {
         _ => None,
     }
 }
+
+/// Collect the dotted paths of every numeric leaf named one of
+/// [`GATED_LEAVES`], depth-first.
+fn gated_paths(v: &Json, prefix: &str, out: &mut BTreeSet<String>) {
+    if let Json::Obj(members) = v {
+        for (key, val) in members {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match val {
+                Json::Num(_) if GATED_LEAVES.contains(&key.as_str()) => {
+                    out.insert(path);
+                }
+                Json::Obj(_) => gated_paths(val, &path, out),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Leaf names that put a datapoint under the gate, with the direction
+/// a regression moves in.
+const GATED_LEAVES: [&str; 2] = ["ligands_per_sec", "p99_ms"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,20 +112,35 @@ fn main() -> ExitCode {
         _ => {}
     }
 
+    // The union of gated paths across both files: both-present compares,
+    // one-sided warns.
+    let mut paths = BTreeSet::new();
+    gated_paths(&current, "", &mut paths);
+    gated_paths(&baseline, "", &mut paths);
+    if paths.is_empty() {
+        eprintln!("bench_gate: neither file carries a gated metric");
+        return ExitCode::from(2);
+    }
+
     let mut failed = false;
-    for path in [
-        "ligands_per_sec",
-        "net.ligands_per_sec",
-        "multi.ligands_per_sec",
-    ] {
+    for path in &paths {
+        // Latency regresses upward; throughput regresses downward.
+        let lower_is_better = path.ends_with("p99_ms");
         match (metric(&current, path), metric(&baseline, path)) {
             (Some(cur), Some(base)) => {
-                let floor = base * (1.0 - tolerance);
                 let delta = 100.0 * (cur - base) / base.max(1e-9);
-                if cur < floor {
+                let (bound, breached) = if lower_is_better {
+                    let ceiling = base * (1.0 + tolerance);
+                    (ceiling, cur > ceiling)
+                } else {
+                    let floor = base * (1.0 - tolerance);
+                    (floor, cur < floor)
+                };
+                if breached {
                     eprintln!(
                         "FAIL {path}: {cur:.2} is {delta:+.1} % vs baseline {base:.2} \
-                         (floor {floor:.2} at ±{:.0} % tolerance)",
+                         ({} {bound:.2} at ±{:.0} % tolerance)",
+                        if lower_is_better { "ceiling" } else { "floor" },
                         100.0 * tolerance
                     );
                     failed = true;
@@ -116,7 +158,7 @@ fn main() -> ExitCode {
         }
     }
     if failed {
-        eprintln!("bench_gate: throughput regressed beyond tolerance");
+        eprintln!("bench_gate: a gated metric regressed beyond tolerance");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -5,12 +5,18 @@
 //!
 //! ```text
 //! cargo run --release -p mudock-bench --bin serve_throughput \
-//!     [ligands_per_job] [jobs] [--net] [--receptors N]
+//!     [ligands_per_job] [jobs] [--net] [--receptors N] [--concurrency C]
 //! ```
 //!
+//! Every gated datapoint is sampled the same way: one untimed warmup
+//! batch (JIT-warm caches, built grids, established connections), then
+//! timed batches accumulated until at least [`MIN_SAMPLE_S`] seconds of
+//! wall-clock — so the ±25 % CI gate compares multi-second runs, not
+//! timer noise.
+//!
 //! With `--net`, the same campaigns are additionally submitted over a
-//! loopback TCP socket through the HTTP frontend (`serve::net`) and
-//! polled to completion with the blocking client, adding a
+//! loopback TCP socket through the HTTP frontend (`serve::net`) on one
+//! keep-alive connection and polled to completion, adding a
 //! `"net": {...}` datapoint so the network path's overhead is tracked
 //! by the same baseline file (and the same CI regression gate).
 //!
@@ -22,11 +28,19 @@
 //! counters, so both the scheduling path and the spill I/O sit under
 //! the same regression gate.
 //!
+//! With `--concurrency C`, a `net_concurrency` leg holds C open,
+//! mostly-idle keep-alive connections against the reactor while the
+//! same socket workload runs on an active connection — recording
+//! sustained ligands/sec *and* the p99 per-request latency. This is the
+//! datapoint that guards the readiness-driven event loop: a frontend
+//! that degrades with open sockets (or stalls requests behind idle
+//! peers) fails here long before production traffic would find it.
+//!
 //! Thread count follows `MUDOCK_THREADS` (see `mudock_pool`), so CI runs
 //! are reproducible.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mudock_core::{Campaign, CampaignSpec, ChunkPolicy};
 use mudock_grids::GridDims;
@@ -36,6 +50,9 @@ use mudock_serve::{
     JobSpec, JobState, LigandSource, NetConfig, NetServer, Priority, ReceptorSource, ScreenService,
     ServeConfig, SpillConfig,
 };
+
+/// Minimum accumulated wall-clock per gated datapoint.
+const MIN_SAMPLE_S: f64 = 2.0;
 
 fn bench_campaign(j: usize, dims: GridDims) -> CampaignSpec {
     Campaign::builder()
@@ -51,8 +68,24 @@ fn bench_campaign(j: usize, dims: GridDims) -> CampaignSpec {
         .expect("the bench campaign is valid")
 }
 
+/// One untimed warmup batch, then timed batches accumulated until
+/// [`MIN_SAMPLE_S`]. Returns `(elapsed_s, batches_timed)`.
+fn sample(mut batch: impl FnMut()) -> (f64, usize) {
+    batch(); // warmup: grid builds, socket setup, page cache
+    let mut elapsed = 0.0;
+    let mut batches = 0;
+    while elapsed < MIN_SAMPLE_S {
+        let t0 = Instant::now();
+        batch();
+        elapsed += t0.elapsed().as_secs_f64();
+        batches += 1;
+    }
+    (elapsed, batches)
+}
+
 /// The loopback-socket leg: same jobs, but submitted and polled through
-/// the HTTP frontend. Returns `(elapsed_s, ligands_per_sec)`.
+/// the HTTP frontend over one keep-alive connection. Returns
+/// `(elapsed_s, ligands_per_sec)`.
 fn net_leg(n_ligands: usize, jobs: usize, threads: usize, dims: GridDims) -> (f64, f64) {
     let service = Arc::new(ScreenService::start(ServeConfig {
         total_threads: threads,
@@ -76,36 +109,149 @@ fn net_leg(n_ligands: usize, jobs: usize, threads: usize, dims: GridDims) -> (f6
         radius: 9.0,
     };
 
-    let t0 = std::time::Instant::now();
-    let ids: Vec<u64> = (0..jobs)
-        .map(|j| {
-            client::submit(
-                &addr,
-                &bench_campaign(j, dims),
-                &receptor,
-                &LigandSource::synth(j as u64, n_ligands),
-                Priority::Normal,
-            )
-            .expect("bench submission over loopback")
-        })
-        .collect();
-    for id in ids {
-        let status = client::wait(&addr, id, Duration::from_millis(5)).expect("poll to terminal");
-        assert_eq!(status.state, JobState::Completed, "net bench job failed");
-        assert_eq!(status.ligands_done, n_ligands);
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let mut conn = client::Client::new(&addr);
+    let (elapsed, batches) = sample(|| {
+        let ids: Vec<u64> = (0..jobs)
+            .map(|j| {
+                conn.submit(
+                    &bench_campaign(j, dims),
+                    &receptor,
+                    &LigandSource::synth(j as u64, n_ligands),
+                    Priority::Normal,
+                )
+                .expect("bench submission over loopback")
+            })
+            .collect();
+        for id in ids {
+            let status = conn
+                .wait(id, Duration::from_millis(5))
+                .expect("poll to terminal");
+            assert_eq!(status.state, JobState::Completed, "net bench job failed");
+            assert_eq!(status.ligands_done, n_ligands);
+        }
+    });
+    drop(conn);
     server.shutdown();
     service.shutdown();
     std::fs::remove_dir_all(&results_dir).ok();
-    let total = (jobs * n_ligands) as f64;
+    let total = (batches * jobs * n_ligands) as f64;
     (elapsed, total / elapsed.max(1e-9))
+}
+
+/// The reactor-under-load leg: `conns` open keep-alive connections sit
+/// mostly idle while the socket workload runs on an active one, every
+/// request's latency recorded. Returns
+/// `(elapsed_s, ligands_per_sec, p99_ms)`.
+fn concurrency_leg(
+    n_ligands: usize,
+    jobs: usize,
+    threads: usize,
+    dims: GridDims,
+    conns: usize,
+) -> (f64, f64, f64) {
+    let service = Arc::new(ScreenService::start(ServeConfig {
+        total_threads: threads,
+        job_slots: 2,
+        ..ServeConfig::default()
+    }));
+    let results_dir =
+        std::env::temp_dir().join(format!("mudock-bench-conc-{}", std::process::id()));
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetConfig {
+            results_dir: results_dir.clone(),
+            max_connections: conns + 64,
+            // The idle herd must survive the whole leg.
+            idle_timeout: Duration::from_secs(600),
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr().to_string();
+
+    // Open the idle herd. One served request each guarantees the
+    // connection is fully registered with the reactor (not just sitting
+    // in the accept backlog) before the measurement starts.
+    let mut idle: Vec<client::Client> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut c = client::Client::new(&addr);
+        assert!(c.healthy(), "idle connection {i} failed its first request");
+        idle.push(c);
+    }
+    let shed = server.connection_stats().shed;
+    assert_eq!(shed, 0, "idle herd of {conns} was load-shed ({shed})");
+
+    let receptor = ReceptorSource::Synth {
+        seed: 0xbe2c,
+        atoms: 300,
+        radius: 9.0,
+    };
+    let mut conn = client::Client::new(&addr);
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let record = |t0: Instant, out: &mut Vec<f64>| {
+        out.push(t0.elapsed().as_secs_f64() * 1e3);
+    };
+    let mut warm = true; // first (warmup) batch's latencies are discarded
+    let (elapsed, batches) = sample(|| {
+        let mut batch_lat: Vec<f64> = Vec::new();
+        let ids: Vec<u64> = (0..jobs)
+            .map(|j| {
+                let t0 = Instant::now();
+                let id = conn
+                    .submit(
+                        &bench_campaign(j, dims),
+                        &receptor,
+                        &LigandSource::synth(j as u64, n_ligands),
+                        Priority::Normal,
+                    )
+                    .expect("bench submission under concurrency");
+                record(t0, &mut batch_lat);
+                id
+            })
+            .collect();
+        for id in ids {
+            loop {
+                let t0 = Instant::now();
+                let status = conn.poll(id).expect("poll under concurrency");
+                record(t0, &mut batch_lat);
+                if status.is_terminal() {
+                    assert_eq!(status.state, JobState::Completed, "concurrency job failed");
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        if warm {
+            warm = false;
+        } else {
+            latencies_ms.append(&mut batch_lat);
+        }
+    });
+    // The gauges must show the herd stayed connected throughout.
+    let stats = server.connection_stats();
+    assert_eq!(stats.shed, 0, "requests were shed during the leg");
+    assert!(
+        stats.open as usize >= conns,
+        "idle herd shrank: {} open < {conns}",
+        stats.open
+    );
+    drop(idle);
+    drop(conn);
+    server.shutdown();
+    service.shutdown();
+    std::fs::remove_dir_all(&results_dir).ok();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let p99 = latencies_ms[((latencies_ms.len() * 99).div_ceil(100)).saturating_sub(1)];
+    let total = (batches * jobs * n_ligands) as f64;
+    (elapsed, total / elapsed.max(1e-9), p99)
 }
 
 /// The multi-receptor leg: the same per-job ligand budget, but every
 /// job targets a *different* receptor, the resident cache holds one
-/// grid set, and evictions spill to disk. Two rounds per receptor so
-/// the second round exercises the reload path. Returns
+/// grid set, and evictions spill to disk. Round-robin across receptors
+/// twice per batch, so round two exercises the reload path. Returns
 /// `(elapsed_s, ligands_per_sec, spills, reloads)`.
 fn multi_leg(n_ligands: usize, receptors: usize, threads: usize) -> (f64, f64, u64, u64) {
     let spill_dir = std::env::temp_dir().join(format!("mudock-bench-spill-{}", std::process::id()));
@@ -131,29 +277,27 @@ fn multi_leg(n_ligands: usize, receptors: usize, threads: usize) -> (f64, f64, u
         .collect();
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
 
-    let t0 = std::time::Instant::now();
-    // Round-robin across receptors, twice: round two hits whatever is
-    // resident and reloads what spilled.
-    let handles: Vec<_> = (0..2 * receptors)
-        .map(|j| {
-            let r = j % receptors;
-            service
-                .submit(JobSpec {
-                    receptor: Arc::clone(&targets[r]),
-                    ligands: LigandSource::synth(j as u64, n_ligands),
-                    ..JobSpec::from(bench_campaign(j, dims))
-                })
-                .expect("bench jobs fit the queue")
-        })
-        .collect();
-    for h in handles {
-        assert_eq!(
-            h.wait().state,
-            JobState::Completed,
-            "multi bench job failed"
-        );
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let (elapsed, batches) = sample(|| {
+        let handles: Vec<_> = (0..2 * receptors)
+            .map(|j| {
+                let r = j % receptors;
+                service
+                    .submit(JobSpec {
+                        receptor: Arc::clone(&targets[r]),
+                        ligands: LigandSource::synth(j as u64, n_ligands),
+                        ..JobSpec::from(bench_campaign(j, dims))
+                    })
+                    .expect("bench jobs fit the queue")
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(
+                h.wait().state,
+                JobState::Completed,
+                "multi bench job failed"
+            );
+        }
+    });
     let stats = service.stats();
     assert_eq!(
         stats.shards.len(),
@@ -162,7 +306,7 @@ fn multi_leg(n_ligands: usize, receptors: usize, threads: usize) -> (f64, f64, u
     );
     service.shutdown();
     std::fs::remove_dir_all(&spill_dir).ok();
-    let total = (2 * receptors * n_ligands) as f64;
+    let total = (batches * 2 * receptors * n_ligands) as f64;
     (
         elapsed,
         total / elapsed.max(1e-9),
@@ -175,6 +319,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut with_net = false;
     let mut receptors = 0usize;
+    let mut concurrency = 0usize;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -186,13 +331,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--receptors needs a count");
             }
+            "--concurrency" => {
+                concurrency = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--concurrency needs a connection count");
+            }
             // An unrecognized flag must fail loudly: silently treating
             // it as a positional would run (and baseline) a different
             // configuration than the caller asked for.
             flag if flag.starts_with("--") => {
                 eprintln!(
                     "serve_throughput: unknown flag '{flag}'\n\
-                     usage: serve_throughput [ligands_per_job] [jobs] [--net] [--receptors N]"
+                     usage: serve_throughput [ligands_per_job] [jobs] [--net] \
+                     [--receptors N] [--concurrency C]"
                 );
                 std::process::exit(2);
             }
@@ -216,33 +368,40 @@ fn main() {
     let receptor = Arc::new(mudock_molio::synthetic_receptor(0xbe2c, 300, 9.0));
     let dims = GridDims::centered(Vec3::ZERO, 11.0, 0.6);
 
-    eprintln!("serve_throughput: {jobs} jobs × {n_ligands} ligands on {threads} threads");
-    let t0 = std::time::Instant::now();
-    let handles: Vec<_> = (0..jobs)
-        .map(|j| {
-            service
-                .submit(JobSpec {
-                    receptor: Arc::clone(&receptor),
-                    ligands: LigandSource::synth(j as u64, n_ligands),
-                    ..JobSpec::from(bench_campaign(j, dims))
-                })
-                .expect("bench jobs fit the queue")
-        })
-        .collect();
-    for h in handles {
-        assert_eq!(h.wait().state, JobState::Completed, "bench job failed");
-    }
-    let elapsed = t0.elapsed();
+    eprintln!(
+        "serve_throughput: {jobs} jobs × {n_ligands} ligands on {threads} threads \
+         (≥{MIN_SAMPLE_S} s per datapoint)"
+    );
+    let (elapsed, batches) = sample(|| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|j| {
+                service
+                    .submit(JobSpec {
+                        receptor: Arc::clone(&receptor),
+                        ligands: LigandSource::synth(j as u64, n_ligands),
+                        ..JobSpec::from(bench_campaign(j, dims))
+                    })
+                    .expect("bench jobs fit the queue")
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().state, JobState::Completed, "bench job failed");
+        }
+    });
     let stats = service.stats();
     service.shutdown();
 
-    let total = (jobs * n_ligands) as f64;
-    let ligands_per_sec = total / elapsed.as_secs_f64().max(1e-9);
+    let total = (batches * jobs * n_ligands) as f64;
+    let ligands_per_sec = total / elapsed.max(1e-9);
 
     // The loopback-socket datapoint: identical work, plus HTTP framing,
     // JSON codec, and polling. The gap between the two numbers *is* the
     // frontend overhead.
     let net = with_net.then(|| net_leg(n_ligands, jobs, threads, dims));
+    // The reactor-under-load datapoint: throughput + p99 latency with a
+    // herd of open keep-alive connections.
+    let conc =
+        (concurrency > 0).then(|| concurrency_leg(n_ligands, jobs, threads, dims, concurrency));
     // The multi-receptor datapoint: target churn through a capacity-1
     // cache with the spill tier on.
     let multi = (receptors > 0).then(|| multi_leg(n_ligands, receptors, threads));
@@ -256,7 +415,7 @@ fn main() {
         jobs,
         n_ligands,
         threads,
-        elapsed.as_secs_f64(),
+        elapsed,
         ligands_per_sec,
         stats.cache.hits,
         stats.cache.misses,
@@ -269,6 +428,19 @@ fn main() {
         eprintln!(
             "network path: {net_lps:.1} ligands/s ({:.1} % of in-process)",
             100.0 * net_lps / ligands_per_sec.max(1e-9)
+        );
+    }
+    if let Some((conc_elapsed, conc_lps, p99_ms)) = conc {
+        json.push_str(&format!(
+            concat!(
+                ",\"net_concurrency\":{{\"connections\":{},\"elapsed_s\":{:.4},",
+                "\"ligands_per_sec\":{:.2},\"p99_ms\":{:.3}}}"
+            ),
+            concurrency, conc_elapsed, conc_lps, p99_ms,
+        ));
+        eprintln!(
+            "concurrency path ({concurrency} open conns): {conc_lps:.1} ligands/s, \
+             p99 {p99_ms:.2} ms"
         );
     }
     if let Some((multi_elapsed, multi_lps, spills, reloads)) = multi {

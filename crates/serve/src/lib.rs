@@ -36,12 +36,17 @@
 //!   where it stopped with an identical final ranking.
 //!
 //! A node becomes remotely reachable through the [`net`] frontend: a
-//! dependency-free blocking HTTP/1.1 listener (`POST /jobs`,
+//! dependency-free readiness-driven HTTP/1.1 server (`POST /jobs`,
 //! `GET /jobs/{id}`, `GET /jobs/{id}/results`, `DELETE /jobs/{id}`,
 //! `GET /healthz`, `GET /stats`) speaking the hand-rolled JSON
-//! [`wire`] codec, with the same bounded-backpressure discipline at
-//! the socket edge (`503` instead of unbounded buffering) and a
-//! matching blocking client in [`net::client`].
+//! [`wire`] codec. A single event-loop thread multiplexes every
+//! connection over an epoll [`reactor`] ([`reactor::Reactor`]), with
+//! keep-alive and pipelining, per-state deadlines that evict slow and
+//! idle peers, incremental body parsing through the resumable
+//! [`wire::PushParser`], and the same bounded-backpressure discipline
+//! at the socket edge (a capped connection count that sheds overload
+//! with `503` instead of unbounded buffering). A matching keep-alive
+//! client lives in [`net::client`].
 //!
 //! Jobs are described by the campaign API: a
 //! [`CampaignSpec`](mudock_core::CampaignSpec) built through
@@ -90,6 +95,7 @@ pub mod ingest;
 pub mod job;
 pub mod net;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod shard;
 pub mod sink;

@@ -12,54 +12,68 @@
 //! | `GET`    | `/jobs/{id}/results` | the job's per-ligand JSONL stream so far  |
 //! | `DELETE` | `/jobs/{id}`         | request cancellation                      |
 //! | `GET`    | `/healthz`           | liveness (`200 {"ok":true}`)              |
-//! | `GET`    | `/stats`             | service + grid-cache counters             |
+//! | `GET`    | `/stats`             | service + cache + connection counters     |
 //!
-//! The connection path reuses the service's pool/backpressure
-//! discipline: a fixed set of handler threads pulls accepted
-//! connections from a *bounded* hand-off channel, so a connection burst
-//! beyond [`NetConfig::pending_connections`] is answered `503` by the
-//! accept loop instead of growing memory; job submission uses
-//! [`ScreenService::try_submit`], so a full job queue is `503` too, and
-//! the client retries rather than wedging an executor. Requests are
-//! `Connection: close` — one exchange per connection keeps the server
-//! state machine trivial, and screening jobs are many orders of
-//! magnitude longer than a TCP handshake.
+//! ## Connection model
+//!
+//! One event-loop thread drives every connection through a
+//! [`reactor`](crate::reactor) (epoll on Linux, `poll` elsewhere):
+//! non-blocking accept, read, and write, with a per-connection state
+//! machine (idle → header → body → write). Connections are HTTP/1.1
+//! **keep-alive** by default and requests may be **pipelined**: each
+//! completed request is answered in order, and any bytes already
+//! buffered behind it are processed immediately. Request bodies are
+//! parsed *incrementally* as bytes arrive ([`wire::PushParser`]), so a
+//! large submission never sits buffered waiting for its last byte
+//! before parsing starts.
+//!
+//! Slow and dead peers are bounded by per-state deadlines
+//! ([`NetConfig::idle_timeout`], [`NetConfig::header_timeout`],
+//! [`NetConfig::body_timeout`], [`NetConfig::write_timeout`]): a
+//! slow-loris client dripping header bytes is closed at the header
+//! deadline while thousands of idle keep-alive connections cost only
+//! their sockets. Beyond [`NetConfig::max_connections`] the server
+//! sheds load gracefully — accept, answer a canned `503`, close —
+//! instead of letting the kernel backlog time clients out, and job
+//! submission uses [`ScreenService::try_submit`] so a full queue is a
+//! `503` the client retries rather than a wedged executor.
 //!
 //! Error mapping: malformed HTTP or JSON → `400`, unknown job → `404`,
 //! wrong method → `405`, oversized body → `413`, campaign validation
 //! ([`CampaignError`](mudock_core::CampaignError)) → `422`, queue full
-//! or shutting down → `503`.
+//! or shutting down → `503`. Protocol-level failures close the
+//! connection (framing is unrecoverable); a body that is merely bad
+//! JSON keeps it open — the byte framing was intact.
 //!
 //! The [`client`] module is the matching blocking client (used by the
 //! `mudock submit`/`mudock poll` CLI, the loopback bench mode, and the
-//! end-to-end tests).
+//! end-to-end tests); [`client::Client`] holds its connection open
+//! across requests, so poll loops stop paying a handshake per poll.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::job::{JobHandle, JobId, JobSpec, JobState};
 use crate::queue::SubmitError;
+use crate::reactor::{Event, Interest, Reactor, Token};
 use crate::server::ScreenService;
-use crate::wire::{self, Json, WireError};
+use crate::wire::{self, Json, PushParser, WireError};
 
-/// Network-frontend sizing. `Default` fits a CI host.
+/// Network-frontend sizing and timeouts. `Default` fits a CI host.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
-    /// Threads answering requests (each request is short: submit,
-    /// poll, or a results-file read — docking itself runs on the
-    /// service's executors).
-    pub handler_threads: usize,
-    /// Accepted connections waiting for a handler; beyond this the
-    /// accept loop answers `503` immediately (backpressure, not
-    /// buffering).
-    pub pending_connections: usize,
+    /// Open connections the reactor will hold at once. Beyond this,
+    /// new connections are accepted, answered a canned `503`, and
+    /// closed (graceful shedding — the client sees the overload signal
+    /// instead of a backlog timeout).
+    pub max_connections: usize,
     /// Request bodies larger than this are refused with `413`.
     pub max_body_bytes: usize,
     /// Per-job JSONL result files are written here (served back by
@@ -78,17 +92,30 @@ pub struct NetConfig {
     /// only on trusted networks where clients legitimately share the
     /// server's filesystem; inline `pdbqt` text always works.
     pub allow_path_sources: bool,
+    /// How long a keep-alive connection may sit between requests.
+    pub idle_timeout: Duration,
+    /// From the first byte of a request until its headers complete.
+    /// This is the slow-loris bound: a client dripping header bytes is
+    /// closed here, not at some multi-minute global deadline.
+    pub header_timeout: Duration,
+    /// From headers-complete until the body's last byte.
+    pub body_timeout: Duration,
+    /// From response-queued until it is fully flushed.
+    pub write_timeout: Duration,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
-            handler_threads: 4,
-            pending_connections: 16,
+            max_connections: 1024,
             max_body_bytes: 8 << 20,
             results_dir: std::env::temp_dir().join(format!("mudock-net-{}", std::process::id())),
             max_retained_jobs: 256,
             allow_path_sources: false,
+            idle_timeout: Duration::from_secs(60),
+            header_timeout: Duration::from_secs(10),
+            body_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -104,8 +131,28 @@ struct NetState {
     service: Arc<ScreenService>,
     jobs: Mutex<HashMap<JobId, NetJob>>,
     cfg: NetConfig,
-    /// Connections refused with 503 (accept-side backpressure).
-    rejected: AtomicU64,
+    /// Connections currently registered with the reactor.
+    open: AtomicU64,
+    /// Connections accepted since bind (shed ones included).
+    accepted: AtomicU64,
+    /// Connections answered the canned `503` at the cap.
+    shed: AtomicU64,
+    /// Requests refused for malformed HTTP or JSON (4xx/5xx protocol
+    /// and syntax refusals — not semantic errors like 404 or 422).
+    parse_errors: AtomicU64,
+    /// Requests dispatched to a route.
+    requests: AtomicU64,
+}
+
+/// Connection-level counters, as served under `"connections"` in
+/// `GET /stats` and readable in-process for tests and benches.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectionStats {
+    pub open: u64,
+    pub accepted: u64,
+    pub shed: u64,
+    pub parse_errors: u64,
+    pub requests: u64,
 }
 
 /// Monotonic counter naming result files (assigned pre-submit, before
@@ -121,15 +168,13 @@ pub struct NetServer {
     addr: SocketAddr,
     state: Arc<NetState>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    handler_threads: Vec<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start the accept loop plus handler threads. The service is
-    /// shared — in-process submissions keep working alongside network
-    /// ones.
+    /// start the event-loop thread. The service is shared —
+    /// in-process submissions keep working alongside network ones.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<ScreenService>,
@@ -137,34 +182,31 @@ impl NetServer {
     ) -> std::io::Result<NetServer> {
         std::fs::create_dir_all(&cfg.results_dir)?;
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let mut reactor = Reactor::new()?;
+        reactor.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
         let state = Arc::new(NetState {
             service,
             jobs: Mutex::new(HashMap::new()),
-            cfg: cfg.clone(),
-            rejected: AtomicU64::new(0),
+            cfg,
+            open: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.pending_connections.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-
-        let mut handler_threads = Vec::new();
-        for _ in 0..cfg.handler_threads.max(1) {
-            let rx = Arc::clone(&rx);
+        let loop_thread = {
             let state = Arc::clone(&state);
-            handler_threads.push(std::thread::spawn(move || handler_loop(&rx, &state)));
-        }
-        let accept_thread = {
             let stop = Arc::clone(&stop);
-            let state = Arc::clone(&state);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &state))
+            std::thread::spawn(move || event_loop(listener, reactor, &state, &stop))
         };
         Ok(NetServer {
             addr: local,
             state,
             stop,
-            accept_thread: Some(accept_thread),
-            handler_threads,
+            loop_thread: Some(loop_thread),
         })
     }
 
@@ -173,27 +215,34 @@ impl NetServer {
         self.addr
     }
 
-    /// Connections answered `503` at the accept edge so far.
+    /// Connections shed with the canned `503` so far (kept under its
+    /// historical name; equals [`ConnectionStats::shed`]).
     pub fn rejected_connections(&self) -> u64 {
-        self.state.rejected.load(Ordering::Relaxed)
+        self.state.shed.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, drain the handler threads, and join everything.
-    /// The underlying [`ScreenService`] is left running (it may have
-    /// in-process users); shut it down separately. Idempotent; also
-    /// runs on drop.
+    /// Connection gauges as of now.
+    pub fn connection_stats(&self) -> ConnectionStats {
+        ConnectionStats {
+            open: self.state.open.load(Ordering::Relaxed),
+            accepted: self.state.accepted.load(Ordering::Relaxed),
+            shed: self.state.shed.load(Ordering::Relaxed),
+            parse_errors: self.state.parse_errors.load(Ordering::Relaxed),
+            requests: self.state.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the event loop and join it; every open connection is
+    /// dropped. The underlying [`ScreenService`] is left running (it
+    /// may have in-process users); shut it down separately.
+    /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with one last connection to ourselves.
+        // Wake the reactor with one last connection to ourselves.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Dropping the sender (owned by the accept loop) ends handler
-        // `recv`s; join them.
-        for t in self.handler_threads.drain(..) {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
@@ -205,155 +254,484 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    tx: &SyncSender<TcpStream>,
-    stop: &AtomicBool,
-    state: &NetState,
-) {
-    loop {
-        let Ok((conn, _)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
-                return;
-            }
-            // Transient accept failures (fd exhaustion under a
-            // connection flood, ECONNABORTED) must shed load, not
-            // busy-spin the accept thread at 100 % CPU.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        if stop.load(Ordering::SeqCst) {
-            return; // the wake-up connection; tx drops, handlers drain
-        }
-        match tx.try_send(conn) {
-            Ok(()) => {}
-            Err(TrySendError::Full(conn)) => {
-                // Backpressure at the edge: refuse loudly instead of
-                // queueing without bound.
-                state.rejected.fetch_add(1, Ordering::Relaxed);
-                respond_best_effort(
-                    conn,
-                    503,
-                    &Json::Obj(vec![(
-                        "error".into(),
-                        Json::str("server is saturated; retry later"),
-                    )]),
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => return,
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
 
-fn handler_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<NetState>) {
-    loop {
-        // Hold the lock only for the dequeue, not the request.
-        let conn = match rx.lock().unwrap().recv() {
-            Ok(c) => c,
-            Err(_) => return, // accept loop gone
-        };
-        // Panic isolation: the pool is fixed-size, so a panicking
-        // request path must cost one connection, not one handler
-        // thread for the rest of the server's life.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = handle_connection(conn, state);
-        }));
-    }
-}
+const LISTENER: Token = Token(0);
 
-/// Parsed request line + the bits of the message we use.
-struct Request {
+/// One request/header line. Long enough for any payload this API
+/// carries; short enough that a line-free byte stream cannot grow a
+/// connection's memory.
+const MAX_LINE_BYTES: usize = 16 << 10;
+/// The whole request head (request line + headers + terminator).
+const MAX_HEAD_BYTES: usize = 32 << 10;
+/// Header-line count cap.
+const MAX_HEADERS: usize = 128;
+/// Responses queued behind one connection beyond this pause its reads:
+/// a client pipelining requests faster than it drains responses gets
+/// TCP backpressure, not server memory growth.
+const MAX_PENDING_OUT: usize = 1 << 20;
+/// Result files stream to the socket in chunks of this size.
+const FILE_CHUNK: usize = 64 << 10;
+/// Bytes a closing connection will still drain so the final response
+/// is not lost to a reset while the client is mid-write.
+const DRAIN_BUDGET: usize = 256 << 10;
+/// How long a closing connection lingers draining after its last
+/// response flushed.
+const LINGER: Duration = Duration::from_secs(1);
+
+/// Parsed request head.
+struct RequestHead {
     method: String,
     path: String,
-    body: String,
+    content_length: usize,
+    keep_alive: bool,
 }
 
-/// One request/status/header line (request line, header). Long enough
-/// for any payload this API carries; short enough that a line-free
-/// byte stream cannot grow a handler's memory (the body is the only
-/// large region, and it is bounded separately).
-const MAX_LINE_BYTES: usize = 16 << 10;
-
-/// Wall-clock budget for reading one complete request (request line,
-/// headers, and body together). Bounds what the byte caps and per-read
-/// timeouts cannot: a client dripping one byte every 29 s keeps every
-/// 30 s read alive, and would otherwise hold a handler thread for days
-/// within the byte budget alone.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
-
-fn deadline_error() -> std::io::Error {
-    std::io::Error::new(
-        std::io::ErrorKind::TimedOut,
-        format!(
-            "request not complete within {}s",
-            REQUEST_DEADLINE.as_secs()
-        ),
-    )
+/// Where a connection is in its request/response cycle.
+enum Phase {
+    /// Keep-alive, between requests.
+    Idle,
+    /// Accumulating head bytes (first byte seen, terminator not yet).
+    Header,
+    /// Streaming the body: `parser` is fed incrementally for routes
+    /// that take JSON (`POST /jobs`); other bodies are discarded for
+    /// framing. A parse error is latched so the remaining body still
+    /// drains and the connection stays usable.
+    Body {
+        head: RequestHead,
+        remaining: usize,
+        /// Boxed: the parser's state dwarfs the other phases, and most
+        /// connections sit in `Idle`/`Header`.
+        parser: Option<Box<PushParser>>,
+        parse_err: Option<WireError>,
+    },
+    /// Close-bound: drain (bounded) whatever the peer still sends so
+    /// the final response is delivered, then close.
+    Lingering { budget: usize },
 }
 
-/// `read_line` with a hard cap: a line longer than `MAX_LINE_BYTES`
-/// (or one that never ends, or arrives slower than the request
-/// deadline allows) is an error, not unbounded buffering.
-fn read_capped_line(
-    reader: &mut BufReader<TcpStream>,
+/// One queued slice of response data.
+enum OutItem {
+    Bytes(Vec<u8>),
+    /// A results file streamed in [`FILE_CHUNK`]s; `remaining` is the
+    /// advertised `Content-Length` tail still to send.
+    File {
+        file: std::fs::File,
+        remaining: u64,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: Token,
+    buf: Vec<u8>,
+    phase: Phase,
     deadline: Instant,
-) -> std::io::Result<Option<String>> {
-    let mut bytes = Vec::new();
-    let mut byte = [0u8; 1];
+    out: VecDeque<OutItem>,
+    /// Bytes of `out.front()` already written.
+    front_off: usize,
+    close_after_flush: bool,
+    /// Interest currently registered with the reactor.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out
+            .iter()
+            .map(|i| match i {
+                OutItem::Bytes(b) => b.len(),
+                OutItem::File { remaining, .. } => *remaining as usize,
+            })
+            .sum::<usize>()
+            .saturating_sub(self.front_off)
+    }
+}
+
+/// What to do with a connection after handling an event.
+#[derive(PartialEq)]
+enum Action {
+    Keep,
+    Close,
+}
+
+fn event_loop(
+    listener: TcpListener,
+    mut reactor: Reactor,
+    state: &Arc<NetState>,
+    stop: &AtomicBool,
+) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = 1usize;
+    let mut events: Vec<Event> = Vec::new();
     loop {
-        if Instant::now() > deadline {
-            return Err(deadline_error());
+        if stop.load(Ordering::SeqCst) {
+            break;
         }
-        match reader.read(&mut byte)? {
-            0 => break,
-            _ => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                bytes.push(byte[0]);
-                if bytes.len() > MAX_LINE_BYTES {
-                    // Discard (bounded, nothing buffered) to the end of
-                    // the line so the 400 reaches a client mid-write
-                    // instead of a connection reset; past the discard
-                    // cap it is an attack, not a request — just close.
-                    let mut discarded = 0usize;
-                    while discarded < 16 * MAX_LINE_BYTES {
-                        match reader.read(&mut byte) {
-                            Ok(1..) if byte[0] != b'\n' => discarded += 1,
-                            _ => break,
-                        }
-                    }
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
-                    ));
-                }
+        let now = Instant::now();
+        // Sleep until the nearest deadline (capped for robustness).
+        let timeout = conns
+            .values()
+            .map(|c| c.deadline.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_secs(1))
+            .min(Duration::from_secs(1));
+        if reactor.wait(&mut events, Some(timeout)).is_err() {
+            break; // reactor fd gone — unrecoverable
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        for &ev in &events {
+            if ev.token == LISTENER {
+                accept_all(&listener, &mut reactor, &mut conns, &mut next_token, state);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token.0) else {
+                continue; // closed earlier this batch
+            };
+            let mut action = Action::Keep;
+            if ev.readable || ev.hangup {
+                action = do_read(conn, state, now);
+            }
+            if action == Action::Keep && (ev.writable || !conn.out.is_empty()) {
+                action = do_write(conn, now);
+            }
+            if action == Action::Close {
+                close_conn(&mut reactor, &mut conns, ev.token.0, state);
+            }
+        }
+        // Deadlines: a connection past its phase deadline is closed —
+        // that is the slow-loris/dead-peer bound.
+        let expired: Vec<usize> = conns
+            .iter()
+            .filter(|(_, c)| now >= c.deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            close_conn(&mut reactor, &mut conns, id, state);
+        }
+        // Re-arm interest: read unless output backpressure says pause,
+        // write only while output is queued.
+        for conn in conns.values_mut() {
+            let want = Interest {
+                readable: conn.pending_out() <= MAX_PENDING_OUT,
+                writable: !conn.out.is_empty(),
+            };
+            if want != conn.interest
+                && reactor
+                    .modify(conn.stream.as_raw_fd(), conn.token, want)
+                    .is_ok()
+            {
+                conn.interest = want;
             }
         }
     }
-    if bytes.is_empty() {
-        return Ok(None); // EOF or a bare newline: both end the headers
+    for (_, conn) in conns.drain() {
+        let _ = reactor.deregister(conn.stream.as_raw_fd());
     }
-    if bytes.last() == Some(&b'\r') {
-        bytes.pop();
-    }
-    if bytes.is_empty() {
-        return Ok(None);
-    }
-    String::from_utf8(bytes)
-        .map(Some)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 line"))
+    state.open.store(0, Ordering::Relaxed);
 }
 
-/// Read one HTTP/1.1 request. `Err(status, message)` is answered as-is.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Request, (u16, String)> {
-    let deadline = Instant::now() + REQUEST_DEADLINE;
-    let line = read_capped_line(reader, deadline)
-        .map_err(|e| (400, format!("bad request line: {e}")))?
-        .ok_or((400, "empty request line".to_string()))?;
+fn close_conn(
+    reactor: &mut Reactor,
+    conns: &mut HashMap<usize, Conn>,
+    id: usize,
+    state: &NetState,
+) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = reactor.deregister(conn.stream.as_raw_fd());
+        state.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    reactor: &mut Reactor,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    state: &Arc<NetState>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Transient (ECONNABORTED, fd exhaustion): the next
+            // readiness event retries; never spin.
+            Err(_) => return,
+        };
+        state.accepted.fetch_add(1, Ordering::Relaxed);
+        if conns.len() >= state.cfg.max_connections.max(1) {
+            // Graceful shedding: the overload answer reaches the
+            // client instead of a backlog timeout.
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            shed_503(stream);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = Token(*next_token);
+        *next_token += 1;
+        if reactor
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            continue;
+        }
+        state.open.fetch_add(1, Ordering::Relaxed);
+        conns.insert(
+            token.0,
+            Conn {
+                stream,
+                token,
+                buf: Vec::new(),
+                phase: Phase::Idle,
+                deadline: Instant::now() + state.cfg.idle_timeout,
+                out: VecDeque::new(),
+                front_off: 0,
+                close_after_flush: false,
+                interest: Interest::READ,
+            },
+        );
+    }
+}
+
+/// Best-effort canned `503` at the connection cap: one non-blocking
+/// write (the payload is far below a socket send buffer), then drop.
+/// The accept path must NEVER block on a rejected client.
+fn shed_503(stream: TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let body = Json::Obj(vec![(
+        "error".into(),
+        Json::str("server is saturated; retry later"),
+    )])
+    .encode();
+    let msg = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = (&stream).write(msg.as_bytes());
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Drain the socket into the connection buffer and run the request
+/// state machine over whatever arrived.
+fn do_read(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
+    let mut tmp = [0u8; 16 << 10];
+    loop {
+        // Backpressure: stop pulling bytes while responses are backed
+        // up (interest re-arming pauses the readiness events too).
+        if conn.pending_out() > MAX_PENDING_OUT {
+            return Action::Keep;
+        }
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                // EOF. Clean between requests; abrupt mid-request.
+                return Action::Close;
+            }
+            Ok(n) => {
+                if let Phase::Lingering { budget } = &mut conn.phase {
+                    *budget = budget.saturating_sub(n);
+                    if *budget == 0 {
+                        return Action::Close;
+                    }
+                    continue;
+                }
+                conn.buf.extend_from_slice(&tmp[..n]);
+                if process_input(conn, state, now) == Action::Close {
+                    return Action::Close;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Action::Keep,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close,
+        }
+    }
+}
+
+/// Advance the request state machine over `conn.buf`. Loops so that
+/// pipelined requests already buffered are answered back-to-back.
+fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
+    loop {
+        match &mut conn.phase {
+            Phase::Idle => {
+                if conn.buf.is_empty() {
+                    return Action::Keep;
+                }
+                conn.phase = Phase::Header;
+                conn.deadline = now + state.cfg.header_timeout;
+            }
+            Phase::Header => {
+                let Some(head_len) = find_head_end(&conn.buf) else {
+                    if conn.buf.len() > MAX_HEAD_BYTES {
+                        return refuse(
+                            conn,
+                            state,
+                            now,
+                            400,
+                            format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                        );
+                    }
+                    return Action::Keep; // need more bytes
+                };
+                let head_bytes: Vec<u8> = conn.buf.drain(..head_len).collect();
+                let head = match parse_head(&head_bytes) {
+                    Ok(h) => h,
+                    Err((status, msg)) => return refuse(conn, state, now, status, msg),
+                };
+                if head.content_length > state.cfg.max_body_bytes {
+                    return refuse(
+                        conn,
+                        state,
+                        now,
+                        413,
+                        format!(
+                            "body of {} bytes exceeds the {}-byte limit",
+                            head.content_length, state.cfg.max_body_bytes
+                        ),
+                    );
+                }
+                let parse_body = {
+                    let path = head.path.split('?').next().unwrap_or("");
+                    head.method == "POST" && path.split('/').filter(|s| !s.is_empty()).eq(["jobs"])
+                };
+                conn.deadline = now + state.cfg.body_timeout;
+                conn.phase = Phase::Body {
+                    remaining: head.content_length,
+                    parser: parse_body.then(|| Box::new(PushParser::new())),
+                    parse_err: None,
+                    head,
+                };
+            }
+            Phase::Body {
+                remaining,
+                parser,
+                parse_err,
+                ..
+            } => {
+                let take = (*remaining).min(conn.buf.len());
+                if take > 0 {
+                    // Incremental parse: the body never waits, whole,
+                    // for a parse pass — and a malformed one is known
+                    // bad at its first wrong byte.
+                    if parse_err.is_none() {
+                        if let Some(p) = parser.as_mut() {
+                            if let Err(e) = p.feed(&conn.buf[..take]) {
+                                *parse_err = Some(e);
+                            }
+                        }
+                    }
+                    conn.buf.drain(..take);
+                    *remaining -= take;
+                }
+                if *remaining > 0 {
+                    return Action::Keep; // need more bytes
+                }
+                let (head, parser, parse_err) =
+                    match std::mem::replace(&mut conn.phase, Phase::Idle) {
+                        Phase::Body {
+                            head,
+                            parser,
+                            parse_err,
+                            ..
+                        } => (head, parser, parse_err),
+                        _ => unreachable!("we are in Body"),
+                    };
+                let body = parser.map(|p| match parse_err {
+                    Some(e) => Err(e),
+                    None => p.finish(),
+                });
+                if let Some(Err(WireError::Syntax { .. })) = &body {
+                    state.parse_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                // Panic isolation: a panicking route must cost one
+                // response, never the whole event loop.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&head.method, &head.path, body, state)
+                }))
+                .unwrap_or_else(|_| error_response(500, "internal error"));
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                queue_response(conn, response, head.keep_alive, now, state);
+                if conn.close_after_flush {
+                    conn.buf.clear();
+                    conn.phase = Phase::Lingering {
+                        budget: DRAIN_BUDGET,
+                    };
+                    return Action::Keep;
+                }
+                // Keep-alive: loop — pipelined bytes may already hold
+                // the next request.
+                if conn.buf.is_empty() {
+                    conn.deadline = now + state.cfg.idle_timeout.max(state.cfg.write_timeout);
+                    return Action::Keep;
+                }
+            }
+            Phase::Lingering { budget } => {
+                *budget = budget.saturating_sub(conn.buf.len());
+                conn.buf.clear();
+                if *budget == 0 {
+                    return Action::Close;
+                }
+                return Action::Keep;
+            }
+        }
+    }
+}
+
+/// Queue a protocol-level refusal and mark the connection close-bound
+/// (its framing can no longer be trusted).
+fn refuse(
+    conn: &mut Conn,
+    state: &Arc<NetState>,
+    now: Instant,
+    status: u16,
+    message: String,
+) -> Action {
+    state.parse_errors.fetch_add(1, Ordering::Relaxed);
+    queue_response(conn, error_response(status, message), false, now, state);
+    conn.buf.clear();
+    conn.phase = Phase::Lingering {
+        budget: DRAIN_BUDGET,
+    };
+    Action::Keep
+}
+
+/// Index just past the blank line ending the request head, if present.
+/// Lines are `\n`-separated, tolerating the `\r` HTTP requires.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match (buf.get(i + 1), buf.get(i + 2)) {
+                (Some(b'\n'), _) => return Some(i + 2),
+                (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse the request line + headers. `Err(status, message)` is
+/// answered as-is (and closes the connection).
+fn parse_head(head: &[u8]) -> Result<RequestHead, (u16, String)> {
+    let mut lines = head.split(|&b| b == b'\n').map(|l| {
+        let l = l.strip_suffix(b"\r").unwrap_or(l);
+        if l.len() > MAX_LINE_BYTES {
+            return Err((400, format!("line exceeds {MAX_LINE_BYTES} bytes")));
+        }
+        std::str::from_utf8(l).map_err(|_| (400, "non-UTF-8 line".to_string()))
+    });
+    let line = lines.next().unwrap_or(Ok(""))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -369,15 +747,16 @@ fn read_request(
     }
 
     let mut content_length = 0usize;
+    let mut connection = String::new();
     let mut headers_seen = 0usize;
-    while let Some(header) =
-        read_capped_line(reader, deadline).map_err(|e| (400, format!("bad header: {e}")))?
-    {
+    for header in lines {
+        let header = header?;
+        if header.is_empty() {
+            break; // the terminator line
+        }
         headers_seen += 1;
-        // Per-line bytes are capped above; cap the *count* too, or a
-        // client drip-feeding `X: y` lines holds a handler forever.
-        if headers_seen > 128 {
-            return Err((400, "more than 128 header lines".to_string()));
+        if headers_seen > MAX_HEADERS {
+            return Err((400, format!("more than {MAX_HEADERS} header lines")));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -389,59 +768,127 @@ fn read_request(
                 && !value.trim().eq_ignore_ascii_case("identity")
             {
                 return Err((501, "chunked bodies are not supported".to_string()));
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
-    if content_length > max_body {
-        // Best-effort drain (bounded) before answering: the client is
-        // mid-write; closing with unread data RSTs the socket and the
-        // typed 413 never reaches it. Draining more than a few bufs
-        // past the limit is pointless — give up and let them see the
-        // reset instead of relaying an attacker-declared length.
-        let mut sink = [0u8; 16 << 10];
-        let mut left = content_length.min(4 * max_body);
-        while left > 0 {
-            let take = left.min(sink.len());
-            match reader.read(&mut sink[..take]) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => left -= n,
-            }
-        }
-        return Err((
-            413,
-            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
-        ));
-    }
-    let mut body = vec![0u8; content_length];
-    let mut filled = 0usize;
-    while filled < content_length {
-        if Instant::now() > deadline {
-            return Err((400, deadline_error().to_string()));
-        }
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err((400, "truncated body".to_string())),
-            Ok(n) => filled += n,
-            Err(e) => return Err((400, format!("truncated body: {e}"))),
-        }
-    }
-    let body = String::from_utf8(body).map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
-    Ok(Request { method, path, body })
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let keep_alive = if version == "HTTP/1.0" {
+        connection == "keep-alive"
+    } else {
+        connection != "close"
+    };
+    Ok(RequestHead {
+        method,
+        path,
+        content_length,
+        keep_alive,
+    })
 }
 
-fn handle_connection(conn: TcpStream, state: &Arc<NetState>) -> std::io::Result<()> {
-    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
-    conn.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(conn.try_clone()?);
-    let (status, content_type, body) = match read_request(&mut reader, state.cfg.max_body_bytes) {
-        Ok(req) => route(&req, state),
-        Err((status, message)) => (
-            status,
-            "application/json",
-            Body::Text(Json::Obj(vec![("error".into(), Json::str(message))]).encode()),
-        ),
+/// Serialize a response onto the connection's output queue and attempt
+/// an optimistic flush (most responses fit the socket buffer whole, so
+/// the common case never waits for a writability event).
+fn queue_response(
+    conn: &mut Conn,
+    (status, content_type, body): Response,
+    keep_alive: bool,
+    now: Instant,
+    state: &Arc<NetState>,
+) {
+    let len = match &body {
+        Body::Text(t) => t.len() as u64,
+        Body::File(_, len) => *len,
     };
-    write_response(conn, status, content_type, body)
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut first = head.into_bytes();
+    match body {
+        Body::Text(t) => first.extend_from_slice(t.as_bytes()),
+        Body::File(file, remaining) => {
+            conn.out.push_back(OutItem::Bytes(first));
+            conn.out.push_back(OutItem::File { file, remaining });
+            conn.close_after_flush |= !keep_alive;
+            conn.deadline = now + state.cfg.write_timeout;
+            let _ = do_write(conn, now);
+            return;
+        }
+    }
+    conn.out.push_back(OutItem::Bytes(first));
+    conn.close_after_flush |= !keep_alive;
+    conn.deadline = now + state.cfg.write_timeout;
+    let _ = do_write(conn, now);
 }
+
+/// Push queued output to the socket until it blocks or drains.
+fn do_write(conn: &mut Conn, now: Instant) -> Action {
+    loop {
+        let Some(front) = conn.out.front_mut() else {
+            // Fully flushed.
+            if conn.close_after_flush {
+                // Half-close so the last response's bytes are
+                // delivered, then linger draining (bounded) until the
+                // peer hangs up — closing with unread input would RST
+                // the response away.
+                let _ = conn.stream.shutdown(Shutdown::Write);
+                if !matches!(conn.phase, Phase::Lingering { .. }) {
+                    conn.phase = Phase::Lingering {
+                        budget: DRAIN_BUDGET,
+                    };
+                }
+                conn.deadline = now + LINGER;
+            }
+            return Action::Keep;
+        };
+        match front {
+            OutItem::Bytes(bytes) => {
+                while conn.front_off < bytes.len() {
+                    match conn.stream.write(&bytes[conn.front_off..]) {
+                        Ok(0) => return Action::Close,
+                        Ok(n) => conn.front_off += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            return Action::Keep;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => return Action::Close,
+                    }
+                }
+                conn.front_off = 0;
+                conn.out.pop_front();
+            }
+            OutItem::File { file, remaining } => {
+                if *remaining == 0 {
+                    conn.out.pop_front();
+                    continue;
+                }
+                let want = (*remaining).min(FILE_CHUNK as u64) as usize;
+                let mut chunk = vec![0u8; want];
+                match file.read(&mut chunk) {
+                    // Truncated under us: the advertised Content-Length
+                    // cannot be met — the framing is broken, close.
+                    Ok(0) => return Action::Close,
+                    Ok(n) => {
+                        chunk.truncate(n);
+                        *remaining -= n as u64;
+                        // The chunk is the file's next bytes: it goes
+                        // *in front of* the file item it came from.
+                        conn.out.push_front(OutItem::Bytes(chunk));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Action::Close,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
 
 fn reason(status: u16) -> &'static str {
     match status {
@@ -462,66 +909,13 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// A response body: in-memory JSON, or a file streamed straight from
-/// disk (results can be large — they must not be buffered whole on a
-/// handler thread per request).
+/// disk (results can be large — they must not be buffered whole).
 enum Body {
     Text(String),
     /// The file plus the length to advertise; the copy is capped at
     /// that length so a sink appending mid-response cannot overrun the
     /// declared `Content-Length`.
     File(std::fs::File, u64),
-}
-
-fn write_response(
-    mut conn: TcpStream,
-    status: u16,
-    content_type: &str,
-    body: Body,
-) -> std::io::Result<()> {
-    let len = match &body {
-        Body::Text(t) => t.len() as u64,
-        Body::File(_, len) => *len,
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
-        reason(status),
-    );
-    conn.write_all(head.as_bytes())?;
-    match body {
-        Body::Text(t) => conn.write_all(t.as_bytes())?,
-        Body::File(file, len) => {
-            std::io::copy(&mut file.take(len), &mut conn)?;
-        }
-    }
-    conn.flush()
-}
-
-/// Answer a connection from the accept thread (the 503 backpressure
-/// path) without EVER blocking it — an accept loop that waits on a
-/// rejected client is an accept loop not accepting. The drain is
-/// non-blocking: it consumes whatever the client already delivered
-/// (the whole request, for the common small-submission case, so the
-/// 503 arrives instead of a connection reset) and gives up at the
-/// first would-block. A client still mid-write of a large body may
-/// see the reset — that is the overload signal doing its job.
-fn respond_best_effort(conn: TcpStream, status: u16, body: &Json) {
-    let mut sink = [0u8; 16 << 10];
-    let mut drained = 0usize;
-    if conn.set_nonblocking(true).is_ok() {
-        if let Ok(mut reader) = conn.try_clone() {
-            while drained < (64 << 10) {
-                match reader.read(&mut sink) {
-                    Ok(n @ 1..) => drained += n,
-                    _ => break, // EOF, WouldBlock, or error: stop
-                }
-            }
-        }
-        let _ = conn.set_nonblocking(false);
-    }
-    // The 503 body is far below a socket send buffer; the write never
-    // meaningfully blocks, but cap it to be safe.
-    let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = write_response(conn, status, "application/json", Body::Text(body.encode()));
 }
 
 type Response = (u16, &'static str, Body);
@@ -544,10 +938,17 @@ fn wire_error_response(e: &WireError) -> Response {
     )
 }
 
-fn route(req: &Request, state: &Arc<NetState>) -> Response {
-    let path = req.path.split('?').next().unwrap_or("");
+/// Dispatch one parsed request. `body` is `Some` only for routes that
+/// take JSON (it was parsed incrementally while the bytes arrived).
+fn route(
+    method: &str,
+    raw_path: &str,
+    body: Option<Result<Json, WireError>>,
+    state: &Arc<NetState>,
+) -> Response {
+    let path = raw_path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
             json_response(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
         }
@@ -556,28 +957,52 @@ fn route(req: &Request, state: &Arc<NetState>) -> Response {
             if let Json::Obj(members) = &mut v {
                 members.push((
                     "rejected_connections".into(),
-                    Json::u64(state.rejected.load(Ordering::Relaxed)),
+                    Json::u64(state.shed.load(Ordering::Relaxed)),
                 ));
                 members.push((
                     "queue_capacity".into(),
                     Json::usize(state.service.queue_capacity()),
                 ));
+                members.push((
+                    "connections".into(),
+                    Json::Obj(vec![
+                        ("open".into(), Json::u64(state.open.load(Ordering::Relaxed))),
+                        (
+                            "accepted".into(),
+                            Json::u64(state.accepted.load(Ordering::Relaxed)),
+                        ),
+                        ("shed".into(), Json::u64(state.shed.load(Ordering::Relaxed))),
+                        (
+                            "parse_errors".into(),
+                            Json::u64(state.parse_errors.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "requests".into(),
+                            Json::u64(state.requests.load(Ordering::Relaxed)),
+                        ),
+                    ]),
+                ));
             }
             json_response(200, &v)
         }
-        ("POST", ["jobs"]) => submit_job(&req.body, state),
+        ("POST", ["jobs"]) => submit_job(body, state),
         ("GET", ["jobs", id]) => with_job(state, id, job_status),
         ("GET", ["jobs", id, "results"]) => with_job(state, id, job_results),
         ("DELETE", ["jobs", id]) => with_job(state, id, cancel_job),
         (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) => {
-            error_response(405, format!("method {} not allowed on {path}", req.method))
+            error_response(405, format!("method {method} not allowed on {path}"))
         }
         _ => error_response(404, format!("no route for {path}")),
     }
 }
 
-fn submit_job(body: &str, state: &Arc<NetState>) -> Response {
-    let sub = match wire::parse(body).and_then(|v| wire::submission_from_json(&v)) {
+fn submit_job(body: Option<Result<Json, WireError>>, state: &Arc<NetState>) -> Response {
+    let parsed = match body {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => return wire_error_response(&e),
+        None => return error_response(400, "POST /jobs requires a JSON body"),
+    };
+    let sub = match wire::submission_from_json(&parsed) {
         Ok(s) => s,
         Err(e) => return wire_error_response(&e),
     };
@@ -606,8 +1031,8 @@ fn submit_job(body: &str, state: &Arc<NetState>) -> Response {
         ..JobSpec::from(sub.campaign)
     };
     // try_submit, not submit: a full queue must become backpressure on
-    // the wire (503 + retry), never a handler thread blocked on a
-    // condvar while holding a connection open.
+    // the wire (503 + retry), never the event loop blocked on a
+    // condvar while every other connection starves.
     match state.service.try_submit(spec) {
         Ok(handle) => {
             let id = handle.id();
@@ -670,7 +1095,7 @@ fn evict_terminal_jobs(jobs: &mut HashMap<JobId, NetJob>, max_retained: usize) -
 
 /// Look a job up and run `f` on a clone of its tracking entry, or 404.
 /// The clone means the global map lock is held only for the lookup —
-/// never across `f` (which may read a large results file from disk).
+/// never across `f` (which may open a large results file).
 fn with_job(state: &Arc<NetState>, id: &str, f: fn(&NetJob, JobId) -> Response) -> Response {
     let Ok(id) = id.parse::<JobId>() else {
         return error_response(404, format!("job id '{id}' is not a number"));
@@ -705,9 +1130,9 @@ fn job_status(job: &NetJob, id: JobId) -> Response {
 fn job_results(job: &NetJob, _id: JobId) -> Response {
     // The sink appends + flushes at chunk boundaries, so serving the
     // file mid-run streams every completed chunk — same contract as
-    // tailing the JSONL locally. Streamed from disk, never buffered
-    // whole: results files grow with the campaign. The length is
-    // snapshotted up front so a chunk landing mid-response cannot
+    // tailing the JSONL locally. Streamed from disk in chunks, never
+    // buffered whole: results files grow with the campaign. The length
+    // is snapshotted up front so a chunk landing mid-response cannot
     // overrun the declared Content-Length.
     match std::fs::File::open(&job.results) {
         Ok(file) => match file.metadata() {
@@ -738,8 +1163,10 @@ fn cancel_job(job: &NetJob, id: JobId) -> Response {
 // Client
 // ---------------------------------------------------------------------------
 
-/// The matching blocking HTTP client: one request per connection,
-/// exactly what the server speaks. Used by the CLI (`mudock submit`,
+/// The matching blocking HTTP client. [`Client`](client::Client) keeps its connection
+/// open across requests (HTTP/1.1 keep-alive), so a poll loop pays one
+/// TCP handshake total instead of one per poll; the free functions are
+/// one-shot conveniences over it. Used by the CLI (`mudock submit`,
 /// `mudock poll`), the loopback bench mode, and the integration tests.
 pub mod client {
     use super::*;
@@ -747,6 +1174,7 @@ pub mod client {
     use crate::job::Priority;
     use crate::wire::{JobStatus, ReceptorSource};
     use mudock_core::CampaignSpec;
+    use std::io::{BufRead, BufReader};
 
     /// A client-side failure.
     #[derive(Debug)]
@@ -814,66 +1242,209 @@ pub mod client {
         }
     }
 
-    /// One blocking request against `addr` (e.g. `"127.0.0.1:7979"`).
+    /// A keep-alive HTTP client bound to one server address.
+    ///
+    /// The connection is opened lazily, reused across requests, and
+    /// dropped when the server answers `Connection: close` (or on any
+    /// I/O error). A request that fails on a *reused* connection is
+    /// retried once on a fresh one: the usual cause is the server's
+    /// idle timeout racing the request, and the retry makes that race
+    /// invisible to callers.
+    pub struct Client {
+        addr: String,
+        conn: Option<BufReader<TcpStream>>,
+    }
+
+    impl Client {
+        pub fn new(addr: impl Into<String>) -> Client {
+            Client {
+                addr: addr.into(),
+                conn: None,
+            }
+        }
+
+        fn connect(addr: &str) -> Result<BufReader<TcpStream>, ClientError> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+            let _ = stream.set_nodelay(true);
+            Ok(BufReader::new(stream))
+        }
+
+        /// One blocking request; reuses the held connection when
+        /// possible.
+        pub fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+        ) -> Result<HttpResponse, ClientError> {
+            let reused = self.conn.is_some();
+            if self.conn.is_none() {
+                self.conn = Some(Self::connect(&self.addr)?);
+            }
+            let conn = self.conn.as_mut().expect("just ensured");
+            match Self::exchange(conn, &self.addr, method, path, body) {
+                Ok((resp, keep)) => {
+                    if !keep {
+                        self.conn = None;
+                    }
+                    Ok(resp)
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if reused {
+                        // Stale keep-alive connection (server idle
+                        // timeout won the race): retry once, fresh.
+                        if let ClientError::Io(_) = e {
+                            let mut fresh = Self::connect(&self.addr)?;
+                            let (resp, keep) =
+                                Self::exchange(&mut fresh, &self.addr, method, path, body)?;
+                            if keep {
+                                self.conn = Some(fresh);
+                            }
+                            return Ok(resp);
+                        }
+                    }
+                    Err(e)
+                }
+            }
+        }
+
+        fn exchange(
+            reader: &mut BufReader<TcpStream>,
+            addr: &str,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+        ) -> Result<(HttpResponse, bool), ClientError> {
+            let body = body.unwrap_or("");
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len(),
+            );
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+
+            let mut status_line = String::new();
+            if reader.read_line(&mut status_line)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the status line",
+                )));
+            }
+            let status: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad status line '{}'", status_line.trim_end()),
+                    ))
+                })?;
+            let mut content_length: Option<usize> = None;
+            let mut close = false;
+            loop {
+                let mut header = String::new();
+                let n = reader.read_line(&mut header)?;
+                let header = header.trim_end();
+                if n == 0 || header.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().ok();
+                    } else if name.eq_ignore_ascii_case("connection") {
+                        close = value.trim().eq_ignore_ascii_case("close");
+                    }
+                }
+            }
+            let body = match content_length {
+                Some(len) => {
+                    let mut buf = vec![0u8; len];
+                    reader.read_exact(&mut buf)?;
+                    String::from_utf8_lossy(&buf).into_owned()
+                }
+                None => {
+                    // No framing: the exchange only ends at EOF, so
+                    // the connection cannot be reused.
+                    close = true;
+                    let mut buf = String::new();
+                    reader.read_to_string(&mut buf)?;
+                    buf
+                }
+            };
+            Ok((HttpResponse { status, body }, !close))
+        }
+
+        /// `POST /jobs`: submit a campaign; returns the assigned job id.
+        pub fn submit(
+            &mut self,
+            campaign: &CampaignSpec,
+            receptor: &ReceptorSource,
+            ligands: &LigandSource,
+            priority: Priority,
+        ) -> Result<JobId, ClientError> {
+            let body = wire::submission_to_json(campaign, receptor, ligands, priority)?.encode();
+            let resp = self.request("POST", "/jobs", Some(&body))?.ok()?;
+            let v = wire::parse(&resp.body)?;
+            match v.get("id") {
+                Some(Json::Num(n)) => n.as_u64().ok_or_else(|| {
+                    ClientError::Wire(WireError::invalid("id", "expected an integer"))
+                }),
+                _ => Err(ClientError::Wire(WireError::Missing { field: "id" })),
+            }
+        }
+
+        /// `GET /jobs/{id}`: one status snapshot.
+        pub fn poll(&mut self, id: JobId) -> Result<JobStatus, ClientError> {
+            let resp = self.request("GET", &format!("/jobs/{id}"), None)?.ok()?;
+            Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+        }
+
+        /// Poll until the job reaches a terminal state — over one
+        /// connection, not one per poll.
+        pub fn wait(&mut self, id: JobId, interval: Duration) -> Result<JobStatus, ClientError> {
+            loop {
+                let status = self.poll(id)?;
+                if status.is_terminal() {
+                    return Ok(status);
+                }
+                std::thread::sleep(interval);
+            }
+        }
+
+        /// `GET /jobs/{id}/results`: the JSONL produced so far.
+        pub fn results(&mut self, id: JobId) -> Result<String, ClientError> {
+            Ok(self
+                .request("GET", &format!("/jobs/{id}/results"), None)?
+                .ok()?
+                .body)
+        }
+
+        /// `DELETE /jobs/{id}`: request cancellation.
+        pub fn cancel(&mut self, id: JobId) -> Result<JobStatus, ClientError> {
+            let resp = self.request("DELETE", &format!("/jobs/{id}"), None)?.ok()?;
+            Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+        }
+
+        /// `GET /healthz`, as a boolean.
+        pub fn healthy(&mut self) -> bool {
+            matches!(self.request("GET", "/healthz", None), Ok(r) if r.status == 200)
+        }
+    }
+
+    /// One-shot request against `addr` (e.g. `"127.0.0.1:7979"`).
     pub fn request(
         addr: &str,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<HttpResponse, ClientError> {
-        let mut conn = TcpStream::connect(addr)?;
-        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
-        conn.set_write_timeout(Some(Duration::from_secs(30)))?;
-        let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len(),
-        );
-        conn.write_all(head.as_bytes())?;
-        conn.write_all(body.as_bytes())?;
-        conn.flush()?;
-
-        let mut reader = BufReader::new(conn);
-        let mut status_line = String::new();
-        reader.read_line(&mut status_line)?;
-        let status: u16 = status_line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| {
-                ClientError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad status line '{}'", status_line.trim_end()),
-                ))
-            })?;
-        let mut content_length: Option<usize> = None;
-        loop {
-            let mut header = String::new();
-            let n = reader.read_line(&mut header)?;
-            let header = header.trim_end();
-            if n == 0 || header.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().ok();
-                }
-            }
-        }
-        let body = match content_length {
-            Some(len) => {
-                let mut buf = vec![0u8; len];
-                reader.read_exact(&mut buf)?;
-                String::from_utf8_lossy(&buf).into_owned()
-            }
-            None => {
-                // Connection: close — read to EOF.
-                let mut buf = String::new();
-                reader.read_to_string(&mut buf)?;
-                buf
-            }
-        };
-        Ok(HttpResponse { status, body })
+        Client::new(addr).request(method, path, body)
     }
 
     /// `POST /jobs`: submit a campaign; returns the assigned job id.
@@ -884,50 +1455,33 @@ pub mod client {
         ligands: &LigandSource,
         priority: Priority,
     ) -> Result<JobId, ClientError> {
-        let body = wire::submission_to_json(campaign, receptor, ligands, priority)?.encode();
-        let resp = request(addr, "POST", "/jobs", Some(&body))?.ok()?;
-        let v = wire::parse(&resp.body)?;
-        match v.get("id") {
-            Some(Json::Num(n)) => n
-                .as_u64()
-                .ok_or_else(|| ClientError::Wire(WireError::invalid("id", "expected an integer"))),
-            _ => Err(ClientError::Wire(WireError::Missing { field: "id" })),
-        }
+        Client::new(addr).submit(campaign, receptor, ligands, priority)
     }
 
     /// `GET /jobs/{id}`: one status snapshot.
     pub fn poll(addr: &str, id: JobId) -> Result<JobStatus, ClientError> {
-        let resp = request(addr, "GET", &format!("/jobs/{id}"), None)?.ok()?;
-        Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+        Client::new(addr).poll(id)
     }
 
-    /// Poll until the job reaches a terminal state.
+    /// Poll until the job reaches a terminal state (one keep-alive
+    /// connection for the whole loop).
     pub fn wait(addr: &str, id: JobId, interval: Duration) -> Result<JobStatus, ClientError> {
-        loop {
-            let status = poll(addr, id)?;
-            if status.is_terminal() {
-                return Ok(status);
-            }
-            std::thread::sleep(interval);
-        }
+        Client::new(addr).wait(id, interval)
     }
 
     /// `GET /jobs/{id}/results`: the JSONL produced so far.
     pub fn results(addr: &str, id: JobId) -> Result<String, ClientError> {
-        Ok(request(addr, "GET", &format!("/jobs/{id}/results"), None)?
-            .ok()?
-            .body)
+        Client::new(addr).results(id)
     }
 
     /// `DELETE /jobs/{id}`: request cancellation.
     pub fn cancel(addr: &str, id: JobId) -> Result<JobStatus, ClientError> {
-        let resp = request(addr, "DELETE", &format!("/jobs/{id}"), None)?.ok()?;
-        Ok(wire::status_from_json(&wire::parse(&resp.body)?)?)
+        Client::new(addr).cancel(id)
     }
 
     /// `GET /healthz`, as a boolean.
     pub fn healthy(addr: &str) -> bool {
-        matches!(request(addr, "GET", "/healthz", None), Ok(r) if r.status == 200)
+        Client::new(addr).healthy()
     }
 }
 
@@ -935,6 +1489,7 @@ pub mod client {
 mod tests {
     use super::*;
     use crate::server::ServeConfig;
+    use std::io::{BufRead, BufReader};
 
     fn tiny_service() -> Arc<ScreenService> {
         Arc::new(ScreenService::start(ServeConfig {
@@ -949,6 +1504,36 @@ mod tests {
     fn bind(service: &Arc<ScreenService>) -> NetServer {
         NetServer::bind("127.0.0.1:0", Arc::clone(service), NetConfig::default())
             .expect("loopback bind")
+    }
+
+    /// Read one HTTP response (status + Content-Length framed body)
+    /// off a raw reader, leaving the stream positioned at the next
+    /// pipelined response.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut len = 0usize;
+        loop {
+            let mut header = String::new();
+            let n = reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if n == 0 || header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    len = value.trim().parse().unwrap();
+                }
+            }
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8_lossy(&body).into_owned())
     }
 
     #[test]
@@ -971,6 +1556,11 @@ mod tests {
         assert!(cache.get("spills").is_some());
         assert!(cache.get("reloads").is_some());
         assert!(cache.get("spilled").is_some());
+        // Connection gauges are part of the stats contract too.
+        let conns = v.get("connections").expect("connections gauges");
+        for gauge in ["open", "accepted", "shed", "parse_errors", "requests"] {
+            assert!(conns.get(gauge).is_some(), "missing gauge {gauge}");
+        }
         server.shutdown();
         service.shutdown();
     }
@@ -1114,9 +1704,9 @@ mod tests {
         let service = tiny_service();
         let mut server = bind(&service);
         let addr = server.local_addr().to_string();
-        // A request line far beyond MAX_LINE_BYTES: the server must
+        // A request line far beyond the head budget: the server must
         // answer 400 (it read a bounded prefix), not buffer it all.
-        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let mut conn = TcpStream::connect(&addr).unwrap();
         let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 << 10));
         conn.write_all(huge.as_bytes()).unwrap();
         conn.flush().unwrap();
@@ -1148,6 +1738,134 @@ mod tests {
                 .status,
             413
         );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        let mut c = client::Client::new(&addr);
+        for _ in 0..5 {
+            assert!(c.healthy());
+        }
+        let resp = c.request("GET", "/stats", None).unwrap().ok().unwrap();
+        assert!(resp.body.contains("connections"));
+        // All six requests rode one accepted connection.
+        let stats = server.connection_stats();
+        assert_eq!(stats.accepted, 1, "handshake per request: {stats:?}");
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.open, 1);
+        drop(c);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Two requests in one write: both must be answered, in order,
+        // on the same connection.
+        conn.write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /stats HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        let (status1, body1) = read_response(&mut reader);
+        let (status2, body2) = read_response(&mut reader);
+        assert_eq!(status1, 200);
+        assert!(body1.contains("ok"), "healthz first: {body1}");
+        assert_eq!(status2, 200);
+        assert!(body2.contains("cache"), "stats second: {body2}");
+        assert_eq!(server.connection_stats().accepted, 1);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_header_writers_are_deadlined() {
+        let service = tiny_service();
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                header_timeout: Duration::from_millis(150),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // A slow-loris writer: partial headers, then silence. The
+        // header deadline must close the connection.
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nX-Drip: ")
+            .unwrap();
+        let t0 = Instant::now();
+        let mut buf = [0u8; 64];
+        let n = conn.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "expected EOF, got {n} bytes");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline did not fire promptly"
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_a_503() {
+        let service = tiny_service();
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                max_connections: 1,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        // Occupy the only slot (a completed request guarantees the
+        // connection is registered, not just in the backlog).
+        let mut holder = client::Client::new(&addr);
+        assert!(holder.healthy());
+        // The next connection is accepted, told 503, and closed.
+        let resp = client::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 503);
+        let stats = server.connection_stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(server.rejected_connections(), 1);
+        // The held connection is unaffected.
+        assert!(holder.healthy());
+        drop(holder);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn body_parse_errors_keep_the_connection_alive() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        let mut c = client::Client::new(&addr);
+        // Bad JSON poisons the request, not the connection: the body
+        // framing was intact, so the next request still works.
+        let resp = c.request("POST", "/jobs", Some("{broken")).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(c.healthy());
+        let stats = server.connection_stats();
+        assert_eq!(stats.accepted, 1);
+        assert!(stats.parse_errors >= 1);
+        drop(c);
         server.shutdown();
         service.shutdown();
     }

@@ -1,0 +1,201 @@
+//! Chunk-split invariance of the resumable wire parser.
+//!
+//! [`wire::parse`] is defined as "feed everything to a
+//! [`PushParser`](wire::PushParser), then `finish`", so the property
+//! that actually needs guarding is that the *split points don't
+//! matter*: feeding a document byte-at-a-time, or in arbitrary random
+//! chunks, must produce exactly the result of the one-shot parse — the
+//! same [`Json`] tree for valid input, and the same [`WireError`]
+//! *including the byte offset* for malformed input. The malformed half
+//! matters most: an error discovered mid-chunk must be reported at the
+//! same offset as when the whole document was visible at once.
+
+use mudock_serve::wire::{self, Json, Num, WireError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// --------------------------------------------------------------------
+// Document generation (hand-rolled: the tree is recursive, which the
+// offline proptest shim's combinators don't model).
+// --------------------------------------------------------------------
+
+/// Strings exercising every escape path: plain ASCII, mandatory
+/// escapes, `\u` hex (BMP + surrogate pairs), and multi-byte UTF-8.
+fn gen_string(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0usize..12);
+    let mut s = String::new();
+    for _ in 0..len {
+        match rng.random_range(0u32..10) {
+            0 => s.push('"'),
+            1 => s.push('\\'),
+            2 => s.push('\n'),
+            3 => s.push('\t'),
+            4 => s.push('\u{1F}'), // control char → \u escape on encode
+            5 => s.push('é'),      // 2-byte UTF-8
+            6 => s.push('✓'),      // 3-byte UTF-8
+            7 => s.push('🜚'),      // 4-byte UTF-8 (surrogate pair in \u)
+            _ => s.push((b'a' + (rng.random_range(0u32..26) as u8)) as char),
+        }
+    }
+    s
+}
+
+fn gen_num(rng: &mut StdRng) -> Num {
+    match rng.random_range(0u32..4) {
+        0 => Num::from_u64(rng.random::<u64>()),
+        1 => Num::from_f64(-(rng.random::<f64>()) * 1e9),
+        2 => Num::from_f32(rng.random::<f32>() * 1e-3),
+        _ => Num::from_usize(rng.random_range(0usize..1000)),
+    }
+}
+
+fn gen_json(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth == 0 {
+        rng.random_range(0u32..4) // leaves only
+    } else {
+        rng.random_range(0u32..6)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random::<bool>()),
+        2 => Json::Num(gen_num(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.random_range(0usize..5);
+            Json::Arr((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0usize..5);
+            Json::Obj(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Random insignificant whitespace around the document (the parser
+/// must treat it as part of the byte stream for offset purposes).
+fn pad(rng: &mut StdRng, text: String) -> String {
+    let ws = [" ", "\t", "\n", "\r\n", ""];
+    let pre = ws[rng.random_range(0usize..ws.len())];
+    let post = ws[rng.random_range(0usize..ws.len())];
+    format!("{pre}{text}{post}")
+}
+
+/// Corrupt an encoded document: flip, insert, delete, or truncate at a
+/// random byte. Most mutations produce malformed documents; some stay
+/// valid (e.g. deleting a digit) — both are fine, parity must hold
+/// either way.
+fn mutate(rng: &mut StdRng, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        bytes.push(b'{');
+        return;
+    }
+    let at = rng.random_range(0usize..bytes.len());
+    match rng.random_range(0u32..4) {
+        0 => bytes[at] = rng.random_range(0u32..=255) as u8,
+        1 => bytes.insert(at, rng.random_range(0u32..=255) as u8),
+        2 => {
+            bytes.remove(at);
+        }
+        _ => bytes.truncate(at),
+    }
+}
+
+// --------------------------------------------------------------------
+// The parsers under comparison
+// --------------------------------------------------------------------
+
+/// Push the bytes through a fresh parser in the given chunks.
+fn parse_in_chunks(bytes: &[u8], cuts: &[usize]) -> Result<Json, WireError> {
+    let mut parser = wire::PushParser::new();
+    let mut start = 0;
+    for &cut in cuts {
+        parser.feed(&bytes[start..cut])?;
+        start = cut;
+    }
+    parser.feed(&bytes[start..])?;
+    parser.finish()
+}
+
+/// Random sorted cut points (possibly duplicated → empty chunks, which
+/// must also be harmless).
+fn random_cuts(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let n = rng.random_range(0usize..8);
+    let mut cuts: Vec<usize> = (0..n).map(|_| rng.random_range(0usize..=len)).collect();
+    cuts.sort_unstable();
+    cuts
+}
+
+/// Assert every split of `bytes` agrees with `expected`.
+fn assert_split_invariant(
+    rng: &mut StdRng,
+    bytes: &[u8],
+    expected: &Result<Json, WireError>,
+) -> Result<(), TestCaseError> {
+    // Byte-at-a-time: the worst case — every state machine transition
+    // crosses a feed boundary.
+    let one_by_one: Vec<usize> = (1..bytes.len()).collect();
+    let got = parse_in_chunks(bytes, &one_by_one);
+    prop_assert_eq!(&got, expected, "byte-at-a-time parse diverged");
+    // A handful of random chunkings.
+    for _ in 0..4 {
+        let cuts = random_cuts(rng, bytes.len());
+        let got = parse_in_chunks(bytes, &cuts);
+        prop_assert_eq!(&got, expected, "chunked parse diverged at {:?}", cuts);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn valid_documents_parse_identically_under_any_split(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = gen_json(&mut rng, 4);
+        let text = pad(&mut rng, doc.encode());
+        let expected = wire::parse(&text);
+        // Sanity: encode → parse must succeed and round-trip.
+        prop_assert_eq!(expected.as_ref().ok(), Some(&doc), "encode/parse broke: {}", text);
+        assert_split_invariant(&mut rng, text.as_bytes(), &expected)?;
+    }
+
+    #[test]
+    fn mutated_documents_fail_identically_under_any_split(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = gen_json(&mut rng, 3);
+        let mut bytes = pad(&mut rng, doc.encode()).into_bytes();
+        for _ in 0..rng.random_range(1usize..4) {
+            mutate(&mut rng, &mut bytes);
+        }
+        // The one-shot reference is feed-all + finish, which is what
+        // `wire::parse` does on strings; raw bytes also cover the
+        // invalid-UTF-8 rejection paths `&str` can never reach.
+        let expected = parse_in_chunks(&bytes, &[]);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            prop_assert_eq!(&wire::parse(text), &expected, "parse() != feed-all");
+        }
+        assert_split_invariant(&mut rng, &bytes, &expected)?;
+    }
+
+    #[test]
+    fn errors_are_sticky_across_further_feeds(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = gen_json(&mut rng, 2).encode().into_bytes();
+        for _ in 0..3 {
+            mutate(&mut rng, &mut bytes);
+        }
+        let mut parser = wire::PushParser::new();
+        let Err(first) = parser.feed(&bytes) else {
+            return Ok(()); // mutations left a parseable prefix — fine
+        };
+        // Once latched, no continuation may "heal" or move the error.
+        prop_assert_eq!(parser.feed(b"true"), Err(first.clone()), "error not sticky");
+        prop_assert_eq!(parser.feed(b"  "), Err(first.clone()), "error not sticky");
+        prop_assert_eq!(parser.finish(), Err(first), "finish() lost the sticky error");
+    }
+}
