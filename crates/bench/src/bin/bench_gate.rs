@@ -8,7 +8,7 @@
 //!
 //! Gated metrics are discovered, not hardcoded: every numeric leaf
 //! whose dotted path ends in `ligands_per_sec` (throughput, higher is
-//! better) or `p99_ms` (latency, lower is better) is gated when both
+//! better) or `p50_ms`/`p99_ms` (latency, lower is better) is gated when both
 //! files carry it. Exits non-zero when a throughput metric falls more
 //! than `tolerance` (default 0.25, i.e. ±25 %) *below* its baseline, or
 //! a latency metric rises more than `tolerance` *above* it — speedups
@@ -66,7 +66,7 @@ fn gated_paths(v: &Json, prefix: &str, out: &mut BTreeSet<String>) {
 
 /// Leaf names that put a datapoint under the gate, with the direction
 /// a regression moves in.
-const GATED_LEAVES: [&str; 2] = ["ligands_per_sec", "p99_ms"];
+const GATED_LEAVES: [&str; 3] = ["ligands_per_sec", "p50_ms", "p99_ms"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,7 +125,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     for path in &paths {
         // Latency regresses upward; throughput regresses downward.
-        let lower_is_better = path.ends_with("p99_ms");
+        let lower_is_better = path.ends_with("p50_ms") || path.ends_with("p99_ms");
         match (metric(&current, path), metric(&baseline, path)) {
             (Some(cur), Some(base)) => {
                 let delta = 100.0 * (cur - base) / base.max(1e-9);

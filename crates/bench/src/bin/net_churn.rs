@@ -197,8 +197,30 @@ fn main() {
         "open gauge lost the herd: {} < {conns}",
         stats.open
     );
+
+    // 5. The /metrics surface must reflect the churn it just survived
+    // (the smoke shuts the server down, so CI asserts it here rather
+    // than with a post-run curl).
+    let metrics = client::request(&addr, "GET", "/metrics", None)
+        .expect("/metrics through the churn")
+        .ok()
+        .expect("/metrics 200")
+        .body;
+    for needle in [
+        "mudock_requests_total ",
+        "mudock_job_stage_seconds_count{stage=\"total\"} 2",
+        "mudock_jobs_total{event=\"completed\"} 1",
+        "mudock_connections_shed_total 0",
+        "mudock_request_seconds_count ",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "/metrics missing series {needle:?}"
+        );
+    }
     eprintln!(
-        "net_churn: PASS — herd of {conns} survived, {} requests served, 0 shed",
+        "net_churn: PASS — herd of {conns} survived, {} requests served, 0 shed, \
+         /metrics consistent",
         stats.requests
     );
 

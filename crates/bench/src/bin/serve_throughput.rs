@@ -140,15 +140,17 @@ fn net_leg(n_ligands: usize, jobs: usize, threads: usize, dims: GridDims) -> (f6
 
 /// The reactor-under-load leg: `conns` open keep-alive connections sit
 /// mostly idle while the socket workload runs on an active one, every
-/// request's latency recorded. Returns
-/// `(elapsed_s, ligands_per_sec, p99_ms)`.
+/// request's latency recorded into a `mudock_obs::Histogram` — the same
+/// instrument the server's own `mudock_request_seconds` series uses, so
+/// the bench and production quantiles share bucket semantics. Returns
+/// `(elapsed_s, ligands_per_sec, p50_ms, p99_ms)`.
 fn concurrency_leg(
     n_ligands: usize,
     jobs: usize,
     threads: usize,
     dims: GridDims,
     conns: usize,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, f64) {
     let service = Arc::new(ScreenService::start(ServeConfig {
         total_threads: threads,
         job_slots: 2,
@@ -188,13 +190,9 @@ fn concurrency_leg(
         radius: 9.0,
     };
     let mut conn = client::Client::new(&addr);
-    let mut latencies_ms: Vec<f64> = Vec::new();
-    let record = |t0: Instant, out: &mut Vec<f64>| {
-        out.push(t0.elapsed().as_secs_f64() * 1e3);
-    };
+    let latencies = mudock_obs::Histogram::new();
     let mut warm = true; // first (warmup) batch's latencies are discarded
     let (elapsed, batches) = sample(|| {
-        let mut batch_lat: Vec<f64> = Vec::new();
         let ids: Vec<u64> = (0..jobs)
             .map(|j| {
                 let t0 = Instant::now();
@@ -206,7 +204,9 @@ fn concurrency_leg(
                         Priority::Normal,
                     )
                     .expect("bench submission under concurrency");
-                record(t0, &mut batch_lat);
+                if !warm {
+                    latencies.record(t0.elapsed());
+                }
                 id
             })
             .collect();
@@ -214,7 +214,9 @@ fn concurrency_leg(
             loop {
                 let t0 = Instant::now();
                 let status = conn.poll(id).expect("poll under concurrency");
-                record(t0, &mut batch_lat);
+                if !warm {
+                    latencies.record(t0.elapsed());
+                }
                 if status.is_terminal() {
                     assert_eq!(status.state, JobState::Completed, "concurrency job failed");
                     break;
@@ -222,11 +224,7 @@ fn concurrency_leg(
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
-        if warm {
-            warm = false;
-        } else {
-            latencies_ms.append(&mut batch_lat);
-        }
+        warm = false;
     });
     // The gauges must show the herd stayed connected throughout.
     let stats = server.connection_stats();
@@ -242,10 +240,11 @@ fn concurrency_leg(
     service.shutdown();
     std::fs::remove_dir_all(&results_dir).ok();
 
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let p99 = latencies_ms[((latencies_ms.len() * 99).div_ceil(100)).saturating_sub(1)];
+    let snap = latencies.snapshot();
+    let p50 = snap.p50_ns() as f64 / 1e6;
+    let p99 = snap.p99_ns() as f64 / 1e6;
     let total = (batches * jobs * n_ligands) as f64;
-    (elapsed, total / elapsed.max(1e-9), p99)
+    (elapsed, total / elapsed.max(1e-9), p50, p99)
 }
 
 /// The multi-receptor leg: the same per-job ligand budget, but every
@@ -430,17 +429,17 @@ fn main() {
             100.0 * net_lps / ligands_per_sec.max(1e-9)
         );
     }
-    if let Some((conc_elapsed, conc_lps, p99_ms)) = conc {
+    if let Some((conc_elapsed, conc_lps, p50_ms, p99_ms)) = conc {
         json.push_str(&format!(
             concat!(
                 ",\"net_concurrency\":{{\"connections\":{},\"elapsed_s\":{:.4},",
-                "\"ligands_per_sec\":{:.2},\"p99_ms\":{:.3}}}"
+                "\"ligands_per_sec\":{:.2},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
             ),
-            concurrency, conc_elapsed, conc_lps, p99_ms,
+            concurrency, conc_elapsed, conc_lps, p50_ms, p99_ms,
         ));
         eprintln!(
             "concurrency path ({concurrency} open conns): {conc_lps:.1} ligands/s, \
-             p99 {p99_ms:.2} ms"
+             p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms"
         );
     }
     if let Some((multi_elapsed, multi_lps, spills, reloads)) = multi {

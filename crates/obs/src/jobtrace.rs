@@ -1,0 +1,216 @@
+//! Per-job stage clock: atomic monotonic timestamps and accumulators.
+//!
+//! One [`JobTrace`] rides along with each job (inside the serve
+//! stack's shared job state) and is stamped from whichever thread
+//! happens to be driving that stage — the submitting connection, the
+//! executor, the sink writer. Stamps are [`crate::now_ns`] values in
+//! plain relaxed atomics: writes are single-owner per stage, reads
+//! (status endpoints) tolerate torn cross-field views because each
+//! field is independently meaningful.
+//!
+//! `0` means "not yet stamped" ([`crate::now_ns`] never returns 0).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::now_ns;
+
+/// How a job's grid set was obtained from the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridSource {
+    /// Served from memory (includes joining another job's in-flight build).
+    Hit,
+    /// Built from scratch (AutoGrid run).
+    Built,
+    /// Reloaded bit-identically from the disk spill tier.
+    Reloaded,
+}
+
+impl GridSource {
+    pub fn name(self) -> &'static str {
+        match self {
+            GridSource::Hit => "hit",
+            GridSource::Built => "built",
+            GridSource::Reloaded => "reloaded",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<GridSource> {
+        match s {
+            "hit" => Some(GridSource::Hit),
+            "built" => Some(GridSource::Built),
+            "reloaded" => Some(GridSource::Reloaded),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<GridSource> {
+        match v {
+            1 => Some(GridSource::Hit),
+            2 => Some(GridSource::Built),
+            3 => Some(GridSource::Reloaded),
+            _ => None,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            GridSource::Hit => 1,
+            GridSource::Built => 2,
+            GridSource::Reloaded => 3,
+        }
+    }
+}
+
+/// Monotonic stage stamps and accumulators for one job's lifetime.
+#[derive(Debug, Default)]
+pub struct JobTrace {
+    /// `now_ns` at queue admission.
+    enqueued_ns: AtomicU64,
+    /// `now_ns` when an executor won the shard arbitration and popped it.
+    dequeued_ns: AtomicU64,
+    /// Wall-clock spent acquiring the grid set (build, reload, or hit).
+    grid_ns: AtomicU64,
+    /// How the grid arrived (0 = not yet known).
+    grid_source: AtomicU8,
+    /// Accumulated wall-clock inside the docking pool, across chunks.
+    dock_ns: AtomicU64,
+    /// Chunks docked so far (the dock accumulator's sample count).
+    dock_chunks: AtomicU64,
+    /// Accumulated wall-clock flushing the sink / checkpoint, across chunks.
+    sink_ns: AtomicU64,
+    /// `now_ns` when the job reached a terminal state.
+    finished_ns: AtomicU64,
+}
+
+impl JobTrace {
+    pub fn new() -> JobTrace {
+        JobTrace::default()
+    }
+
+    pub fn stamp_enqueued(&self) {
+        self.enqueued_ns.store(now_ns(), Ordering::Relaxed);
+    }
+
+    /// Stamp dequeue; returns the queue wait in ns (None when the
+    /// enqueue stamp is missing — a job driven outside the queue).
+    pub fn stamp_dequeued(&self) -> Option<u64> {
+        let now = now_ns();
+        self.dequeued_ns.store(now, Ordering::Relaxed);
+        match self.enqueued_ns.load(Ordering::Relaxed) {
+            0 => None,
+            t0 => Some(now.saturating_sub(t0)),
+        }
+    }
+
+    pub fn record_grid(&self, ns: u64, source: GridSource) {
+        self.grid_ns.store(ns, Ordering::Relaxed);
+        self.grid_source.store(source.as_u8(), Ordering::Relaxed);
+    }
+
+    pub fn add_dock(&self, ns: u64) {
+        self.dock_ns.fetch_add(ns, Ordering::Relaxed);
+        self.dock_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_sink(&self, ns: u64) {
+        self.sink_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Stamp the terminal state; returns total queue-to-terminal ns
+    /// when the enqueue stamp exists.
+    pub fn stamp_finished(&self) -> Option<u64> {
+        let now = now_ns();
+        self.finished_ns.store(now, Ordering::Relaxed);
+        match self.enqueued_ns.load(Ordering::Relaxed) {
+            0 => None,
+            t0 => Some(now.saturating_sub(t0)),
+        }
+    }
+
+    /// Point-in-time stage breakdown (all fields independently valid).
+    pub fn snapshot(&self) -> StageTimings {
+        let enq = self.enqueued_ns.load(Ordering::Relaxed);
+        let deq = self.dequeued_ns.load(Ordering::Relaxed);
+        let fin = self.finished_ns.load(Ordering::Relaxed);
+        let grid = self.grid_ns.load(Ordering::Relaxed);
+        let source = GridSource::from_u8(self.grid_source.load(Ordering::Relaxed));
+        StageTimings {
+            queue_wait_ns: (enq != 0 && deq != 0).then(|| deq.saturating_sub(enq)),
+            grid_ns: source.map(|_| grid),
+            grid_source: source,
+            dock_ns: match self.dock_chunks.load(Ordering::Relaxed) {
+                0 => None,
+                _ => Some(self.dock_ns.load(Ordering::Relaxed)),
+            },
+            dock_chunks: self.dock_chunks.load(Ordering::Relaxed),
+            sink_ns: match self.sink_ns.load(Ordering::Relaxed) {
+                0 => None,
+                ns => Some(ns),
+            },
+            total_ns: (enq != 0 && fin != 0).then(|| fin.saturating_sub(enq)),
+        }
+    }
+}
+
+/// A job's per-stage wall-clock breakdown, as reported by
+/// `GET /jobs/{id}`. `None` = the stage has not happened (yet).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    pub queue_wait_ns: Option<u64>,
+    pub grid_ns: Option<u64>,
+    pub grid_source: Option<GridSource>,
+    pub dock_ns: Option<u64>,
+    pub dock_chunks: u64,
+    pub sink_ns: Option<u64>,
+    pub total_ns: Option<u64>,
+}
+
+impl StageTimings {
+    /// True when nothing has been stamped at all (e.g. a status decoded
+    /// from a peer that predates stage tracing).
+    pub fn is_empty(&self) -> bool {
+        *self == StageTimings::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_progress_and_snapshot() {
+        let t = JobTrace::new();
+        assert!(t.snapshot().is_empty());
+        t.stamp_enqueued();
+        let wait = t.stamp_dequeued().expect("enqueued was stamped");
+        t.record_grid(500, GridSource::Built);
+        t.add_dock(1_000);
+        t.add_dock(2_000);
+        t.add_sink(300);
+        let total = t.stamp_finished().expect("enqueued was stamped");
+        let s = t.snapshot();
+        assert_eq!(s.queue_wait_ns, Some(wait));
+        assert_eq!(s.grid_ns, Some(500));
+        assert_eq!(s.grid_source, Some(GridSource::Built));
+        assert_eq!(s.dock_ns, Some(3_000));
+        assert_eq!(s.dock_chunks, 2);
+        assert_eq!(s.sink_ns, Some(300));
+        assert_eq!(s.total_ns, Some(total));
+        assert!(total >= wait);
+    }
+
+    #[test]
+    fn unqueued_job_reports_no_wait() {
+        let t = JobTrace::new();
+        assert_eq!(t.stamp_dequeued(), None);
+        assert_eq!(t.snapshot().queue_wait_ns, None);
+    }
+
+    #[test]
+    fn grid_source_round_trips_names() {
+        for s in [GridSource::Hit, GridSource::Built, GridSource::Reloaded] {
+            assert_eq!(GridSource::parse(s.name()), Some(s));
+        }
+        assert_eq!(GridSource::parse("nope"), None);
+    }
+}

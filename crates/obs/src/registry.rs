@@ -1,0 +1,362 @@
+//! Name+label metric registry with Prometheus text rendering.
+//!
+//! Registration is rare (service startup, first touch of a label set)
+//! and takes a mutex; the returned `Arc` handles are then recorded
+//! into lock-free, so the hot path never sees the registry lock.
+//! Rendering walks the registered families in registration order and
+//! emits the [Prometheus text exposition format] — hand-rolled, like
+//! `serve::wire`'s JSON.
+//!
+//! [Prometheus text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{bucket_bounds_ns, Counter, Gauge, Histogram, BUCKETS};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// Owns every registered metric; clones of the same `Registry` share
+/// one namespace.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter under `name` + `labels`.
+    ///
+    /// Registering the same name+labels twice returns the same handle;
+    /// registering a name under two different metric kinds panics —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, help, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge under `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a histogram under `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, help, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+        {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format (`text/plain; version=0.0.4`). Families (same name,
+    /// different labels) are grouped under one `# HELP`/`# TYPE` pair.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::with_capacity(entries.len() * 128);
+        // All samples of a family must sit under one HELP/TYPE header,
+        // regardless of interleaved registration order.
+        let mut names: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !names.contains(&e.name.as_str()) {
+                names.push(&e.name);
+            }
+        }
+        for name in names {
+            let family: Vec<&Entry> = entries.iter().filter(|e| e.name == name).collect();
+            let head = family[0];
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            push_escaped_help(&mut out, &head.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(head.metric.kind());
+            out.push('\n');
+            for e in family {
+                Registry::render_entry(&mut out, e);
+            }
+        }
+        out
+    }
+
+    fn render_entry(out: &mut String, e: &Entry) {
+        match &e.metric {
+            Metric::Counter(c) => {
+                push_sample(out, &e.name, &e.labels, None, &format_u64(c.get()));
+            }
+            Metric::Gauge(g) => {
+                push_sample(out, &e.name, &e.labels, None, &g.get().to_string());
+            }
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                let bounds = bucket_bounds_ns();
+                let mut cum = 0u64;
+                for (i, n) in snap.buckets.iter().enumerate() {
+                    cum += n;
+                    let le = if i < BUCKETS {
+                        format_f64(bounds[i] as f64 / 1e9)
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    push_sample_suffix(
+                        out,
+                        &e.name,
+                        "_bucket",
+                        &e.labels,
+                        Some(("le", &le)),
+                        &format_u64(cum),
+                    );
+                }
+                push_sample_suffix(
+                    out,
+                    &e.name,
+                    "_sum",
+                    &e.labels,
+                    None,
+                    &format_f64(snap.sum_ns as f64 / 1e9),
+                );
+                push_sample_suffix(
+                    out,
+                    &e.name,
+                    "_count",
+                    &e.labels,
+                    None,
+                    &format_u64(snap.count),
+                );
+            }
+        }
+    }
+}
+
+fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want.iter())
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+fn push_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    push_sample_suffix(out, name, "", labels, extra, value);
+}
+
+fn push_sample_suffix(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            push_escaped_label(out, v);
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            push_escaped_label(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Label values escape backslash, double-quote and newline.
+fn push_escaped_label(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// HELP text escapes backslash and newline (quotes are legal there).
+fn push_escaped_help(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn format_u64(v: u64) -> String {
+    v.to_string()
+}
+
+/// Shortest-roundtrip float formatting; Rust's `{}` for f64 already
+/// emits the minimal digits, which Prometheus parses fine.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integral seconds readable ("2" not "2.0" is also legal,
+        // but emit the fraction to make the unit unambiguous).
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("k", "v")], "");
+        let b = r.counter("x_total", &[("k", "v")], "");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // A different label set is a distinct series.
+        let c = r.counter("x_total", &[("k", "w")], "");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x", &[], "");
+        r.gauge("x", &[], "");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("mudock_requests_total", &[], "served").inc();
+        r.gauge("mudock_connections_open", &[], "open now").set(3);
+        let h = r.histogram(
+            "mudock_job_stage_seconds",
+            &[("stage", "dock")],
+            "stage wall-clock",
+        );
+        h.record_ns(1_500_000); // 1.5 ms
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE mudock_requests_total counter"));
+        assert!(text.contains("mudock_requests_total 1\n"));
+        assert!(text.contains("# TYPE mudock_connections_open gauge"));
+        assert!(text.contains("mudock_connections_open 3\n"));
+        assert!(text.contains("# TYPE mudock_job_stage_seconds histogram"));
+        assert!(text.contains("mudock_job_stage_seconds_bucket{stage=\"dock\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("mudock_job_stage_seconds_count{stage=\"dock\"} 1\n"));
+        // Buckets are cumulative: the +Inf bucket equals the count.
+        let inf: u64 = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert_eq!(inf, 1);
+    }
+
+    #[test]
+    fn families_group_under_one_type_header() {
+        let r = Registry::new();
+        r.counter("y_total", &[("s", "a")], "y help").inc();
+        r.counter("y_total", &[("s", "b")], "y help").add(2);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE y_total counter").count(), 1);
+        assert!(text.contains("y_total{s=\"a\"} 1\n"));
+        assert!(text.contains("y_total{s=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("z_total", &[("p", "a\"b\\c\nd")], "").inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"z_total{p="a\"b\\c\nd"} 1"#));
+    }
+}

@@ -16,6 +16,7 @@
 //! DESIGN.md §4.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
@@ -40,6 +41,10 @@ pub struct PoolStats {
     pub steals: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Wall-clock of the parallel region (spawn to join). Merged runs
+    /// accumulate, so `executed as f64 / elapsed.as_secs_f64()` is a
+    /// tasks-per-second rate across every region merged in.
+    pub elapsed: Duration,
     /// Per-worker breakdown (`shards.len() == threads`).
     pub shards: Vec<ShardStats>,
 }
@@ -57,6 +62,7 @@ impl PoolStats {
         self.executed += other.executed;
         self.steals += other.steals;
         self.threads = self.threads.max(other.threads);
+        self.elapsed += other.elapsed;
         self.shards.extend_from_slice(&other.shards);
     }
 }
@@ -91,6 +97,7 @@ where
 {
     let threads = threads.max(1);
     let n = items.len();
+    let t0 = Instant::now();
 
     if n == 0 {
         return (
@@ -99,6 +106,7 @@ where
                 executed: 0,
                 steals: 0,
                 threads,
+                elapsed: Duration::ZERO,
                 shards: vec![ShardStats::default(); threads],
             },
         );
@@ -113,6 +121,7 @@ where
                 executed: n,
                 steals: 0,
                 threads: 1,
+                elapsed: t0.elapsed(),
                 shards: vec![ShardStats {
                     executed: n,
                     steals: 0,
@@ -180,6 +189,7 @@ where
         executed: shards.iter().map(|s| s.executed).sum(),
         steals: shards.iter().map(|s| s.steals).sum(),
         threads,
+        elapsed: t0.elapsed(),
         shards,
     };
     (results, stats)

@@ -39,6 +39,7 @@ use std::sync::{Arc, OnceLock};
 
 use mudock_grids::{grid_cache_key, GridBuilder, GridDims, GridSet, SimdLevel};
 use mudock_mol::Molecule;
+use mudock_obs::GridSource;
 use mudock_perf::PerfMonitor;
 use parking_lot::Mutex;
 
@@ -190,19 +191,25 @@ impl GridCache {
     /// and holds this key, reloading the evicted build from disk
     /// bit-identically instead. `level` is part of the cache key: two
     /// jobs pinned to different SIMD levels never share an entry.
-    /// Returns the set and whether it was a hit.
+    /// Returns the set plus how it was obtained:
+    /// [`GridSource::Hit`] (memory, including joining another job's
+    /// in-flight build), [`GridSource::Reloaded`] (spill tier), or
+    /// [`GridSource::Built`] (full AutoGrid run).
     pub fn get_or_build(
         &self,
         receptor: &Molecule,
         dims: GridDims,
         level: SimdLevel,
         monitor: Option<&PerfMonitor>,
-    ) -> (Arc<GridSet>, bool) {
+    ) -> (Arc<GridSet>, GridSource) {
         let key = (grid_cache_key(receptor, &dims), level);
 
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return (Self::build(receptor, dims, level, monitor), false);
+            return (
+                Self::build(receptor, dims, level, monitor),
+                GridSource::Built,
+            );
         }
 
         let (slot, hit, reload_from, spill_save, spill_delete) = {
@@ -289,11 +296,20 @@ impl GridCache {
                 self.forget_spill_file(&path);
             }
         }
+        // Disambiguated only by the thread that actually initializes the
+        // slot: a concurrent same-key caller that joins an in-flight
+        // build reports `Hit` (the work ran once either way).
+        let source = std::cell::Cell::new(if hit {
+            GridSource::Hit
+        } else {
+            GridSource::Built
+        });
         let grids = Arc::clone(slot.get_or_init(|| {
             if let Some(path) = &reload_from {
                 match mudock_grids::io::load(path) {
                     Ok(gs) => {
                         self.reloads.fetch_add(1, Ordering::Relaxed);
+                        source.set(GridSource::Reloaded);
                         return Arc::new(gs);
                     }
                     // Registered but not on disk yet: a concurrent
@@ -318,7 +334,7 @@ impl GridCache {
             }
             Self::build(receptor, dims, level, monitor)
         }));
-        (grids, hit)
+        (grids, source.get())
     }
 
     /// Register the eviction in the spill file table (bounding it to
@@ -463,10 +479,10 @@ mod tests {
     fn second_lookup_hits_and_shares_the_build() {
         let cache = GridCache::new(2);
         let rec = synthetic_receptor(3, 40, 5.0);
-        let (a, hit_a) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
-        let (b, hit_b) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
-        assert!(!hit_a);
-        assert!(hit_b);
+        let (a, src_a) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        let (b, src_b) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        assert_eq!(src_a, GridSource::Built);
+        assert_eq!(src_b, GridSource::Hit);
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -481,8 +497,12 @@ mod tests {
         renamed.name = "other".into();
         let (_, first) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
         let (_, second) = cache.get_or_build(&renamed, dims(), SimdLevel::detect(), None);
-        assert!(!first);
-        assert!(second, "identical content must share the cache entry");
+        assert_eq!(first, GridSource::Built);
+        assert_eq!(
+            second,
+            GridSource::Hit,
+            "identical content must share the cache entry"
+        );
     }
 
     #[test]
@@ -491,13 +511,17 @@ mod tests {
         let rec = synthetic_receptor(3, 40, 5.0);
         let levels = SimdLevel::available();
         for &l in &levels {
-            let (_, hit) = cache.get_or_build(&rec, dims(), l, None);
-            assert!(!hit, "{l}: each level builds its own grids");
+            let (_, src) = cache.get_or_build(&rec, dims(), l, None);
+            assert_eq!(
+                src,
+                GridSource::Built,
+                "{l}: each level builds its own grids"
+            );
         }
         assert_eq!(cache.stats().entries, levels.len().min(4));
         // Revisiting a level is a hit on that level's entry.
-        let (_, hit) = cache.get_or_build(&rec, dims(), levels[0], None);
-        assert!(hit);
+        let (_, src) = cache.get_or_build(&rec, dims(), levels[0], None);
+        assert_eq!(src, GridSource::Hit);
     }
 
     #[test]
@@ -511,19 +535,27 @@ mod tests {
         cache.get_or_build(&r1, dims(), SimdLevel::detect(), None); // r1 hot, r2 cold
         cache.get_or_build(&r3, dims(), SimdLevel::detect(), None); // evicts r2
         assert_eq!(cache.stats().evictions, 1);
-        let (_, r1_hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
-        assert!(r1_hit, "the hot entry must survive the eviction");
-        let (_, r2_hit) = cache.get_or_build(&r2, dims(), SimdLevel::detect(), None);
-        assert!(!r2_hit, "the cold entry must have been evicted");
+        let (_, r1_src) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert_eq!(
+            r1_src,
+            GridSource::Hit,
+            "the hot entry must survive the eviction"
+        );
+        let (_, r2_src) = cache.get_or_build(&r2, dims(), SimdLevel::detect(), None);
+        assert_eq!(
+            r2_src,
+            GridSource::Built,
+            "the cold entry must have been evicted"
+        );
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = GridCache::new(0);
         let rec = synthetic_receptor(5, 30, 5.0);
-        let (_, h1) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
-        let (_, h2) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
-        assert!(!h1 && !h2);
+        let (_, s1) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        let (_, s2) = cache.get_or_build(&rec, dims(), SimdLevel::detect(), None);
+        assert_eq!((s1, s2), (GridSource::Built, GridSource::Built));
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 0);
     }
@@ -566,8 +598,12 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.evictions, s.spills, s.spilled), (1, 1, 1));
 
-        let (reloaded, hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
-        assert!(!hit, "a reload is still a miss (the entry was evicted)");
+        let (reloaded, src) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert_eq!(
+            src,
+            GridSource::Reloaded,
+            "a reload is still a miss (the entry was evicted)"
+        );
         assert_eq!(cache.stats().reloads, 1);
         assert!(
             !Arc::ptr_eq(&built, &reloaded),
@@ -619,8 +655,8 @@ mod tests {
         // rebuild, and the ghost entry must be forgotten.
         let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
         std::fs::write(file.path(), b"not a grid file").unwrap();
-        let (rebuilt, hit) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
-        assert!(!hit);
+        let (rebuilt, src) = cache.get_or_build(&r1, dims(), SimdLevel::detect(), None);
+        assert_eq!(src, GridSource::Built);
         let s = cache.stats();
         assert_eq!(s.reloads, 0, "a corrupt file is not a reload");
         assert_eq!(s.spilled, 1, "r2's spill remains; r1's ghost is gone");
@@ -642,9 +678,12 @@ mod tests {
                 cache.get_or_build(&rec, dims(), SimdLevel::detect(), None)
             }));
         }
-        let results: Vec<(Arc<GridSet>, bool)> =
+        let results: Vec<(Arc<GridSet>, GridSource)> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
-        let misses = results.iter().filter(|(_, hit)| !hit).count();
+        let misses = results
+            .iter()
+            .filter(|(_, src)| *src == GridSource::Built)
+            .count();
         assert_eq!(misses, 1, "exactly one thread installs the entry");
         for (g, _) in &results {
             assert!(Arc::ptr_eq(g, &results[0].0));

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use mudock_core::CampaignSpec;
 use mudock_mol::Molecule;
+use mudock_obs::{JobTrace, StageTimings};
 
 use crate::ingest::LigandSource;
 
@@ -191,6 +192,10 @@ pub(crate) struct JobShared {
     pub policy_stop: AtomicBool,
     pub ligands_done: AtomicUsize,
     pub chunks_done: AtomicUsize,
+    /// Per-stage wall-clock stamps (enqueue → dequeue → grid → dock →
+    /// sink → terminal), readable at any time through
+    /// [`JobHandle::stage_timings`].
+    pub trace: JobTrace,
     state: Mutex<(JobState, Option<JobOutcome>)>,
     done: Condvar,
 }
@@ -203,6 +208,7 @@ impl JobShared {
             policy_stop: AtomicBool::new(false),
             ligands_done: AtomicUsize::new(0),
             chunks_done: AtomicUsize::new(0),
+            trace: JobTrace::new(),
             state: Mutex::new((JobState::Queued, None)),
             done: Condvar::new(),
         })
@@ -270,6 +276,12 @@ impl JobHandle {
     /// Chunks completed so far (live + replayed).
     pub fn chunks_done(&self) -> usize {
         self.shared.chunks_done.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time per-stage wall-clock breakdown. Stages that have
+    /// not happened yet read as `None`; safe to poll while running.
+    pub fn stage_timings(&self) -> StageTimings {
+        self.shared.trace.snapshot()
     }
 
     /// Request cancellation. Queued jobs never start; running jobs stop

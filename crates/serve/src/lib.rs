@@ -99,6 +99,7 @@ pub mod reactor;
 pub mod server;
 pub mod shard;
 pub mod sink;
+pub mod telemetry;
 pub mod wire;
 
 pub use cache::{CacheStats, GridCache, SpillConfig};
@@ -107,9 +108,11 @@ pub use job::{
     ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, Priority, ProgressFn,
     RankedLigand,
 };
+pub use mudock_obs::{GridSource, Registry, StageTimings};
 pub use net::{NetConfig, NetServer};
 pub use queue::SubmitError;
 pub use server::{default_dims, ScreenService, ServeConfig, ServiceStats};
 pub use shard::ShardStat;
 pub use sink::{Checkpoint, JsonlSink};
+pub use telemetry::{ServeObs, TraceConfig};
 pub use wire::{JobStatus, ReceptorSource, WireError};

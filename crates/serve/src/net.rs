@@ -60,6 +60,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mudock_obs::{now_ns, Counter, Gauge, Histogram, Registry};
+
 use crate::job::{JobHandle, JobId, JobSpec, JobState};
 use crate::queue::SubmitError;
 use crate::reactor::{Event, Interest, Reactor, Token};
@@ -131,17 +133,104 @@ struct NetState {
     service: Arc<ScreenService>,
     jobs: Mutex<HashMap<JobId, NetJob>>,
     cfg: NetConfig,
+    metrics: NetMetrics,
+}
+
+/// The frontend's registry-backed instruments. Every gauge/counter
+/// here *is* the `/metrics` series of the same name — `/stats` and
+/// Prometheus scrape one set of atomics, so they can never disagree.
+struct NetMetrics {
+    /// The service-wide registry `/metrics` renders.
+    registry: Registry,
     /// Connections currently registered with the reactor.
-    open: AtomicU64,
+    open: Arc<Gauge>,
     /// Connections accepted since bind (shed ones included).
-    accepted: AtomicU64,
+    accepted: Arc<Counter>,
     /// Connections answered the canned `503` at the cap.
-    shed: AtomicU64,
+    shed: Arc<Counter>,
     /// Requests refused for malformed HTTP or JSON (4xx/5xx protocol
     /// and syntax refusals — not semantic errors like 404 or 422).
-    parse_errors: AtomicU64,
+    parse_errors: Arc<Counter>,
     /// Requests dispatched to a route.
-    requests: AtomicU64,
+    requests: Arc<Counter>,
+    /// Header-first-byte → response-flushed, per request.
+    request_seconds: Arc<Histogram>,
+    /// Time the event loop spends blocked in the reactor.
+    reactor_wait: Arc<Histogram>,
+    /// Time the event loop spends dispatching a non-empty wakeup.
+    reactor_dispatch: Arc<Histogram>,
+    /// Full iteration time (wait + dispatch) of non-empty wakeups.
+    reactor_iteration: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    fn register(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            open: registry.gauge(
+                "mudock_connections_open",
+                &[],
+                "Connections currently registered with the reactor",
+            ),
+            accepted: registry.counter(
+                "mudock_connections_accepted_total",
+                &[],
+                "Connections accepted since bind (shed ones included)",
+            ),
+            shed: registry.counter(
+                "mudock_connections_shed_total",
+                &[],
+                "Connections answered the canned 503 at the connection cap",
+            ),
+            parse_errors: registry.counter(
+                "mudock_request_parse_errors_total",
+                &[],
+                "Requests refused for malformed HTTP or JSON",
+            ),
+            requests: registry.counter(
+                "mudock_requests_total",
+                &[],
+                "Requests dispatched to a route",
+            ),
+            request_seconds: registry.histogram(
+                "mudock_request_seconds",
+                &[],
+                "Request latency, header first byte to response flushed",
+            ),
+            reactor_wait: registry.histogram(
+                "mudock_reactor_wait_seconds",
+                &[],
+                "Event-loop time blocked waiting for readiness",
+            ),
+            reactor_dispatch: registry.histogram(
+                "mudock_reactor_dispatch_seconds",
+                &[],
+                "Event-loop time dispatching a non-empty wakeup",
+            ),
+            reactor_iteration: registry.histogram(
+                "mudock_reactor_iteration_seconds",
+                &[],
+                "Full event-loop iteration time (wait + dispatch)",
+            ),
+            registry: registry.clone(),
+        }
+    }
+
+    /// A torn-view-proof snapshot of the connection gauges. `open` is
+    /// read *first*: every open connection incremented `accepted`
+    /// before registering, and `accepted` only grows, so the loads can
+    /// never observe `open > accepted` — and the final clamp makes the
+    /// invariant structural rather than an ordering argument.
+    fn snapshot(&self) -> ConnectionStats {
+        let open = self.open.get().max(0) as u64;
+        let accepted = self.accepted.get();
+        ConnectionStats {
+            open: open.min(accepted),
+            accepted,
+            shed: self.shed.get(),
+            parse_errors: self.parse_errors.get(),
+            requests: self.requests.get(),
+        }
+    }
 }
 
 /// Connection-level counters, as served under `"connections"` in
@@ -186,15 +275,12 @@ impl NetServer {
         let local = listener.local_addr()?;
         let mut reactor = Reactor::new()?;
         reactor.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        let metrics = NetMetrics::register(&service.registry());
         let state = Arc::new(NetState {
             service,
             jobs: Mutex::new(HashMap::new()),
             cfg,
-            open: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
+            metrics,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let loop_thread = {
@@ -218,18 +304,12 @@ impl NetServer {
     /// Connections shed with the canned `503` so far (kept under its
     /// historical name; equals [`ConnectionStats::shed`]).
     pub fn rejected_connections(&self) -> u64 {
-        self.state.shed.load(Ordering::Relaxed)
+        self.state.metrics.shed.get()
     }
 
     /// Connection gauges as of now.
     pub fn connection_stats(&self) -> ConnectionStats {
-        ConnectionStats {
-            open: self.state.open.load(Ordering::Relaxed),
-            accepted: self.state.accepted.load(Ordering::Relaxed),
-            shed: self.state.shed.load(Ordering::Relaxed),
-            parse_errors: self.state.parse_errors.load(Ordering::Relaxed),
-            requests: self.state.requests.load(Ordering::Relaxed),
-        }
+        self.state.metrics.snapshot()
     }
 
     /// Stop the event loop and join it; every open connection is
@@ -321,6 +401,10 @@ enum OutItem {
         file: std::fs::File,
         remaining: u64,
     },
+    /// Zero-byte end-of-response marker: when the writer reaches it,
+    /// the oldest in-flight request's latency is recorded. Pipelined
+    /// requests match FIFO because responses are queued in order.
+    Mark,
 }
 
 struct Conn {
@@ -335,6 +419,9 @@ struct Conn {
     close_after_flush: bool,
     /// Interest currently registered with the reactor.
     interest: Interest,
+    /// Header-first-byte stamps of requests awaiting a flushed
+    /// response, oldest first (pipelining keeps several in flight).
+    req_starts: VecDeque<u64>,
 }
 
 impl Conn {
@@ -344,6 +431,7 @@ impl Conn {
             .map(|i| match i {
                 OutItem::Bytes(b) => b.len(),
                 OutItem::File { remaining, .. } => *remaining as usize,
+                OutItem::Mark => 0,
             })
             .sum::<usize>()
             .saturating_sub(self.front_off)
@@ -378,9 +466,16 @@ fn event_loop(
             .min()
             .unwrap_or(Duration::from_secs(1))
             .min(Duration::from_secs(1));
-        if reactor.wait(&mut events, Some(timeout)).is_err() {
-            break; // reactor fd gone — unrecoverable
-        }
+        let wait_t0 = now_ns();
+        let n_events = match reactor.wait(&mut events, Some(timeout)) {
+            Ok(n) => n,
+            Err(_) => break, // reactor fd gone — unrecoverable
+        };
+        let wake_ns = now_ns();
+        state
+            .metrics
+            .reactor_wait
+            .record_ns(wake_ns.saturating_sub(wait_t0));
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -398,7 +493,7 @@ fn event_loop(
                 action = do_read(conn, state, now);
             }
             if action == Action::Keep && (ev.writable || !conn.out.is_empty()) {
-                action = do_write(conn, now);
+                action = do_write(conn, now, state);
             }
             if action == Action::Close {
                 close_conn(&mut reactor, &mut conns, ev.token.0, state);
@@ -429,11 +524,24 @@ fn event_loop(
                 conn.interest = want;
             }
         }
+        // Empty wakeups are pure timer ticks; folding them in would
+        // drown the dispatch/iteration histograms in near-zeros.
+        if n_events > 0 {
+            let done = now_ns();
+            state
+                .metrics
+                .reactor_dispatch
+                .record_ns(done.saturating_sub(wake_ns));
+            state
+                .metrics
+                .reactor_iteration
+                .record_ns(done.saturating_sub(wait_t0));
+        }
     }
     for (_, conn) in conns.drain() {
         let _ = reactor.deregister(conn.stream.as_raw_fd());
     }
-    state.open.store(0, Ordering::Relaxed);
+    state.metrics.open.set(0);
 }
 
 fn close_conn(
@@ -444,7 +552,7 @@ fn close_conn(
 ) {
     if let Some(conn) = conns.remove(&id) {
         let _ = reactor.deregister(conn.stream.as_raw_fd());
-        state.open.fetch_sub(1, Ordering::Relaxed);
+        state.metrics.open.sub(1);
     }
 }
 
@@ -464,11 +572,11 @@ fn accept_all(
             // readiness event retries; never spin.
             Err(_) => return,
         };
-        state.accepted.fetch_add(1, Ordering::Relaxed);
+        state.metrics.accepted.inc();
         if conns.len() >= state.cfg.max_connections.max(1) {
             // Graceful shedding: the overload answer reaches the
             // client instead of a backlog timeout.
-            state.shed.fetch_add(1, Ordering::Relaxed);
+            state.metrics.shed.inc();
             shed_503(stream);
             continue;
         }
@@ -484,7 +592,7 @@ fn accept_all(
         {
             continue;
         }
-        state.open.fetch_add(1, Ordering::Relaxed);
+        state.metrics.open.add(1);
         conns.insert(
             token.0,
             Conn {
@@ -497,6 +605,7 @@ fn accept_all(
                 front_off: 0,
                 close_after_flush: false,
                 interest: Interest::READ,
+                req_starts: VecDeque::new(),
             },
         );
     }
@@ -566,6 +675,8 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                 if conn.buf.is_empty() {
                     return Action::Keep;
                 }
+                // Request latency starts at the header's first byte.
+                conn.req_starts.push_back(now_ns());
                 conn.phase = Phase::Header;
                 conn.deadline = now + state.cfg.header_timeout;
             }
@@ -650,7 +761,7 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                     None => p.finish(),
                 });
                 if let Some(Err(WireError::Syntax { .. })) = &body {
-                    state.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    state.metrics.parse_errors.inc();
                 }
                 // Panic isolation: a panicking route must cost one
                 // response, never the whole event loop.
@@ -658,7 +769,7 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                     route(&head.method, &head.path, body, state)
                 }))
                 .unwrap_or_else(|_| error_response(500, "internal error"));
-                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.requests.inc();
                 queue_response(conn, response, head.keep_alive, now, state);
                 if conn.close_after_flush {
                     conn.buf.clear();
@@ -695,7 +806,7 @@ fn refuse(
     status: u16,
     message: String,
 ) -> Action {
-    state.parse_errors.fetch_add(1, Ordering::Relaxed);
+    state.metrics.parse_errors.inc();
     queue_response(conn, error_response(status, message), false, now, state);
     conn.buf.clear();
     conn.phase = Phase::Lingering {
@@ -812,20 +923,22 @@ fn queue_response(
         Body::File(file, remaining) => {
             conn.out.push_back(OutItem::Bytes(first));
             conn.out.push_back(OutItem::File { file, remaining });
+            conn.out.push_back(OutItem::Mark);
             conn.close_after_flush |= !keep_alive;
             conn.deadline = now + state.cfg.write_timeout;
-            let _ = do_write(conn, now);
+            let _ = do_write(conn, now, state);
             return;
         }
     }
     conn.out.push_back(OutItem::Bytes(first));
+    conn.out.push_back(OutItem::Mark);
     conn.close_after_flush |= !keep_alive;
     conn.deadline = now + state.cfg.write_timeout;
-    let _ = do_write(conn, now);
+    let _ = do_write(conn, now, state);
 }
 
 /// Push queued output to the socket until it blocks or drains.
-fn do_write(conn: &mut Conn, now: Instant) -> Action {
+fn do_write(conn: &mut Conn, now: Instant, state: &Arc<NetState>) -> Action {
     loop {
         let Some(front) = conn.out.front_mut() else {
             // Fully flushed.
@@ -880,6 +993,17 @@ fn do_write(conn: &mut Conn, now: Instant) -> Action {
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(_) => return Action::Close,
+                }
+            }
+            OutItem::Mark => {
+                // Everything queued for this response hit the socket:
+                // the oldest in-flight request is answered.
+                conn.out.pop_front();
+                if let Some(t0) = conn.req_starts.pop_front() {
+                    state
+                        .metrics
+                        .request_seconds
+                        .record_ns(now_ns().saturating_sub(t0));
                 }
             }
         }
@@ -953,12 +1077,12 @@ fn route(
             json_response(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
         }
         ("GET", ["stats"]) => {
+            // One ordered snapshot feeds every connection field, so a
+            // scrape can never see `open > accepted` torn views.
+            let conns = state.metrics.snapshot();
             let mut v = wire::stats_to_json(&state.service.stats());
             if let Json::Obj(members) = &mut v {
-                members.push((
-                    "rejected_connections".into(),
-                    Json::u64(state.shed.load(Ordering::Relaxed)),
-                ));
+                members.push(("rejected_connections".into(), Json::u64(conns.shed)));
                 members.push((
                     "queue_capacity".into(),
                     Json::usize(state.service.queue_capacity()),
@@ -966,30 +1090,30 @@ fn route(
                 members.push((
                     "connections".into(),
                     Json::Obj(vec![
-                        ("open".into(), Json::u64(state.open.load(Ordering::Relaxed))),
-                        (
-                            "accepted".into(),
-                            Json::u64(state.accepted.load(Ordering::Relaxed)),
-                        ),
-                        ("shed".into(), Json::u64(state.shed.load(Ordering::Relaxed))),
-                        (
-                            "parse_errors".into(),
-                            Json::u64(state.parse_errors.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "requests".into(),
-                            Json::u64(state.requests.load(Ordering::Relaxed)),
-                        ),
+                        ("open".into(), Json::u64(conns.open)),
+                        ("accepted".into(), Json::u64(conns.accepted)),
+                        ("shed".into(), Json::u64(conns.shed)),
+                        ("parse_errors".into(), Json::u64(conns.parse_errors)),
+                        ("requests".into(), Json::u64(conns.requests)),
                     ]),
                 ));
             }
             json_response(200, &v)
         }
+        ("GET", ["metrics"]) => {
+            // Prometheus text exposition, rendered from the same
+            // registry `/stats` reads — one source of truth.
+            (
+                200,
+                "text/plain; version=0.0.4",
+                Body::Text(state.metrics.registry.render_prometheus()),
+            )
+        }
         ("POST", ["jobs"]) => submit_job(body, state),
         ("GET", ["jobs", id]) => with_job(state, id, job_status),
         ("GET", ["jobs", id, "results"]) => with_job(state, id, job_results),
         ("DELETE", ["jobs", id]) => with_job(state, id, cancel_job),
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) => {
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
             error_response(405, format!("method {method} not allowed on {path}"))
         }
         _ => error_response(404, format!("no route for {path}")),
@@ -1122,6 +1246,7 @@ fn job_status(job: &NetJob, id: JobId) -> Response {
         job.handle.state(),
         job.handle.ligands_done(),
         job.handle.chunks_done(),
+        &job.handle.stage_timings(),
         outcome.as_ref(),
     );
     json_response(200, &v)
@@ -1154,6 +1279,7 @@ fn cancel_job(job: &NetJob, id: JobId) -> Response {
         job.handle.state(),
         job.handle.ligands_done(),
         job.handle.chunks_done(),
+        &job.handle.stage_timings(),
         job.handle.try_outcome().as_ref(),
     );
     json_response(202, &v)
@@ -1865,6 +1991,100 @@ mod tests {
         let stats = server.connection_stats();
         assert_eq!(stats.accepted, 1);
         assert!(stats.parse_errors >= 1);
+        drop(c);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    /// Full cycle (submit → wait → results → stats → metrics): the
+    /// status reports a per-stage breakdown, `/metrics` is well-formed
+    /// Prometheus text, and its counters agree with `/stats`.
+    #[test]
+    fn metrics_expose_prometheus_text_that_agrees_with_stats() {
+        let service = tiny_service();
+        let mut server = bind(&service);
+        let addr = server.local_addr().to_string();
+        let mut c = client::Client::new(&addr);
+        let body = r#"{"campaign": {"name": "obs", "population": 6, "generations": 1,
+                                    "search_radius": 3.0, "top_k": 2},
+                       "receptor": {"synth": {"seed": 3, "atoms": 30, "radius": 5.0}},
+                       "ligands": {"synth": {"seed": 7, "count": 2}}}"#;
+        let resp = c
+            .request("POST", "/jobs", Some(body))
+            .unwrap()
+            .ok()
+            .unwrap();
+        let id = match wire::parse(&resp.body).unwrap().get("id") {
+            Some(Json::Num(n)) => n.as_u64().unwrap(),
+            other => panic!("no id in submit response: {other:?}"),
+        };
+        let status = c.wait(id, Duration::from_millis(20)).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        let stages = status.stages.expect("status carries stage timings");
+        assert!(stages.queue_wait_ns.is_some(), "queue wait unstamped");
+        assert!(stages.grid_ns.is_some() && stages.grid_source.is_some());
+        assert!(stages.dock_ns.is_some() && stages.dock_chunks >= 1);
+        assert!(stages.total_ns.is_some(), "terminal stamp missing");
+        assert!(!c.results(id).unwrap().is_empty());
+
+        let stats_body = c.request("GET", "/stats", None).unwrap().ok().unwrap().body;
+        let stats = wire::parse(&stats_body).unwrap();
+        let stats_requests = match stats.get("connections").and_then(|c| c.get("requests")) {
+            Some(Json::Num(n)) => n.as_u64().unwrap(),
+            other => panic!("no request count in /stats: {other:?}"),
+        };
+
+        let metrics = c
+            .request("GET", "/metrics", None)
+            .unwrap()
+            .ok()
+            .unwrap()
+            .body;
+        // Every line must be a HELP/TYPE comment or `series value`
+        // with a numeric value — the Prometheus text contract.
+        for line in metrics.lines().filter(|l| !l.is_empty()) {
+            if let Some(comment) = line.strip_prefix('#') {
+                assert!(
+                    comment.starts_with(" HELP ") || comment.starts_with(" TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("sample without value: {line}"));
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+                "bad series name: {line}"
+            );
+        }
+        for needle in [
+            "mudock_requests_total ",
+            "mudock_jobs_total{event=\"submitted\"} 1\n",
+            "mudock_jobs_total{event=\"completed\"} 1\n",
+            "mudock_job_stage_seconds_count{stage=\"total\"} 1\n",
+            "mudock_job_stage_seconds_bucket{stage=\"dock\"",
+            "mudock_request_seconds_count ",
+            "mudock_reactor_wait_seconds_count ",
+            "mudock_connections_accepted_total 1\n",
+        ] {
+            assert!(metrics.contains(needle), "missing series {needle:?}");
+        }
+        // Requests counted on the wire and in the registry are the same
+        // atomics. The counter ticks *after* a route runs, so the
+        // /metrics render sees exactly one more request (the /stats
+        // call) than the /stats body reported.
+        let requests_line = metrics
+            .lines()
+            .find(|l| l.starts_with("mudock_requests_total "))
+            .expect("requests series");
+        let metrics_requests: u64 = requests_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(metrics_requests, stats_requests + 1);
         drop(c);
         server.shutdown();
         service.shutdown();

@@ -129,6 +129,7 @@ impl JobQueue {
     fn push(&self, inner: &mut Inner, spec: JobSpec, shared: Arc<JobShared>, shard: ShardInfo) {
         let seq = inner.next_seq;
         inner.next_seq += 1;
+        shared.trace.stamp_enqueued();
         self.router.enqueued(shard);
         inner.jobs.push(QueuedJob {
             spec,

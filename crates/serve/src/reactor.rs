@@ -91,11 +91,14 @@ impl Reactor {
 
     /// Block until at least one registered fd is ready or `timeout`
     /// elapses (`None` waits forever). Events are appended to `out`
-    /// (cleared first). A signal interruption returns success with no
-    /// events — callers already loop.
-    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+    /// (cleared first); the count of delivered events is returned so
+    /// callers can split wait-time from dispatch-time without touching
+    /// `out`. A signal interruption returns `Ok(0)` with no events —
+    /// callers already loop.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
         out.clear();
-        self.sys.wait(out, timeout)
+        self.sys.wait(out, timeout)?;
+        Ok(out.len())
     }
 }
 

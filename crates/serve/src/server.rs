@@ -18,6 +18,7 @@ use std::time::Instant;
 use mudock_core::{dock_ligand, DockingEngine, ScreenResult, StopCheck, StopPolicy, TopK};
 use mudock_grids::{grid_cache_key, Fnv64, GridDims};
 use mudock_mol::Molecule;
+use mudock_obs::{now_ns, Counter, GridSource, Registry};
 use mudock_perf::PerfMonitor;
 
 use crate::cache::{CacheStats, GridCache, SpillConfig};
@@ -27,6 +28,7 @@ use crate::job::{
 use crate::queue::{JobQueue, SubmitError};
 use crate::shard::{ShardRouter, ShardStat};
 use crate::sink::{Checkpoint, JsonlSink};
+use crate::telemetry::{ServeObs, TraceConfig};
 
 /// Service sizing. `Default` fits a CI host; production tunes all of it.
 #[derive(Clone, Debug)]
@@ -50,6 +52,9 @@ pub struct ServeConfig {
     /// them on the next miss instead of rebuilding. `None` (the
     /// default) rebuilds after eviction, as before.
     pub spill: Option<SpillConfig>,
+    /// Write one JSONL line per closed job stage to this bounded trace
+    /// file. `None` (the default) disables tracing; metrics still work.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +66,7 @@ impl Default for ServeConfig {
             cache_capacity: 4,
             shards: 0,
             spill: None,
+            trace: None,
         }
     }
 }
@@ -84,13 +90,37 @@ pub struct ServiceStats {
     pub shards: Vec<ShardStat>,
 }
 
-#[derive(Default)]
+/// Job lifecycle counters, registered so `/stats` and `/metrics` read
+/// the same atomics (`mudock_jobs_total{event=...}` et al.).
 struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
-    ligands: AtomicU64,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    failed: Arc<Counter>,
+    ligands: Arc<Counter>,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Counters {
+        let jobs = |event: &str| {
+            registry.counter(
+                "mudock_jobs_total",
+                &[("event", event)],
+                "Job lifecycle events (submitted, completed, cancelled, failed)",
+            )
+        };
+        Counters {
+            submitted: jobs("submitted"),
+            completed: jobs("completed"),
+            cancelled: jobs("cancelled"),
+            failed: jobs("failed"),
+            ligands: registry.counter(
+                "mudock_ligands_docked_total",
+                &[],
+                "Ligands docked live (checkpoint replays excluded)",
+            ),
+        }
+    }
 }
 
 /// Shared executor context.
@@ -100,6 +130,7 @@ struct ExecCtx {
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
     router: Arc<ShardRouter>,
+    obs: Arc<ServeObs>,
     total_threads: usize,
 }
 
@@ -118,6 +149,7 @@ pub struct ScreenService {
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
     router: Arc<ShardRouter>,
+    obs: Arc<ServeObs>,
     next_id: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -144,7 +176,9 @@ impl ScreenService {
             None => GridCache::new(cfg.cache_capacity),
         });
         let monitor = Arc::new(PerfMonitor::new());
-        let counters = Arc::new(Counters::default());
+        let registry = Registry::new();
+        let counters = Arc::new(Counters::register(&registry));
+        let obs = Arc::new(ServeObs::new(registry, cfg.trace.as_ref())?);
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::new();
         for _ in 0..job_slots {
@@ -155,18 +189,21 @@ impl ScreenService {
                 counters: Arc::clone(&counters),
                 active: Arc::clone(&active),
                 router: Arc::clone(&router),
+                obs: Arc::clone(&obs),
                 total_threads: cfg.total_threads.max(1),
             };
             workers.push(std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
                     ctx.active.fetch_add(1, Ordering::SeqCst);
+                    ctx.obs.job_dequeued(job.shared.id, &job.shared.trace);
                     let shared = Arc::clone(&job.shared);
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| run_job(job.spec, &job.shared, &ctx)));
                     if outcome.is_err() {
                         // A panicking job must not wedge its waiters or
                         // kill the executor slot.
-                        ctx.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        ctx.counters.failed.inc();
+                        ctx.obs.job_finished(shared.id, &shared.trace, "failed");
                         shared.finish(JobOutcome {
                             id: shared.id,
                             name: String::new(),
@@ -196,6 +233,7 @@ impl ScreenService {
             counters,
             active,
             router,
+            obs,
             next_id: AtomicU64::new(1),
             workers: Mutex::new(workers),
         })
@@ -211,7 +249,7 @@ impl ScreenService {
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let shared = self.register(&spec);
         self.queue.submit(spec, Arc::clone(&shared))?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.submitted.inc();
         Ok(JobHandle { shared })
     }
 
@@ -220,17 +258,17 @@ impl ScreenService {
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let shared = self.register(&spec);
         self.queue.try_submit(spec, Arc::clone(&shared))?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.submitted.inc();
         Ok(JobHandle { shared })
     }
 
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            jobs_submitted: self.counters.submitted.load(Ordering::Relaxed),
-            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
-            jobs_cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            jobs_failed: self.counters.failed.load(Ordering::Relaxed),
-            ligands_docked: self.counters.ligands.load(Ordering::Relaxed),
+            jobs_submitted: self.counters.submitted.get(),
+            jobs_completed: self.counters.completed.get(),
+            jobs_cancelled: self.counters.cancelled.get(),
+            jobs_failed: self.counters.failed.get(),
+            ligands_docked: self.counters.ligands.get(),
             queued: self.queue.len(),
             active: self.active.load(Ordering::SeqCst),
             cache: self.cache.stats(),
@@ -241,6 +279,18 @@ impl ScreenService {
     /// Perf regions (grid build timings, …) accumulated by the service.
     pub fn monitor(&self) -> &PerfMonitor {
         &self.monitor
+    }
+
+    /// The service's observability state: stage histograms, job/grid
+    /// counters, optional trace. Shared with the network frontend.
+    pub fn obs(&self) -> Arc<ServeObs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// The metric registry behind [`ScreenService::obs`] — everything
+    /// `/metrics` renders.
+    pub fn registry(&self) -> Registry {
+        self.obs.registry().clone()
     }
 
     /// Maximum number of jobs the queue admits before backpressure.
@@ -291,10 +341,16 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                   cache_hit: bool,
                   stopped_early: bool| {
         match state {
-            JobState::Completed => ctx.counters.completed.fetch_add(1, Ordering::Relaxed),
-            JobState::Cancelled => ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed),
-            _ => ctx.counters.failed.fetch_add(1, Ordering::Relaxed),
+            JobState::Completed => ctx.counters.completed.inc(),
+            JobState::Cancelled => ctx.counters.cancelled.inc(),
+            _ => ctx.counters.failed.inc(),
         };
+        let state_name = match state {
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            _ => "failed",
+        };
+        ctx.obs.job_finished(shared.id, &shared.trace, state_name);
         shared.finish(JobOutcome {
             id: shared.id,
             name: spec.campaign.name.clone(),
@@ -328,12 +384,20 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
     // reads, so jobs pinned to different levels never share grids.
     let dims = spec.campaign.dims_for(&spec.receptor);
     let params = spec.campaign.dock_params();
-    let (grids, cache_hit) = ctx.cache.get_or_build(
+    let grid_t0 = now_ns();
+    let (grids, grid_source) = ctx.cache.get_or_build(
         &spec.receptor,
         dims,
         spec.campaign.grid_level(),
         Some(&ctx.monitor),
     );
+    ctx.obs.job_grid(
+        shared.id,
+        &shared.trace,
+        now_ns().saturating_sub(grid_t0),
+        grid_source,
+    );
+    let cache_hit = grid_source == GridSource::Hit;
     let engine = match DockingEngine::new(&grids) {
         Ok(e) => e,
         Err(e) => {
@@ -463,12 +527,13 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
             }
             // This job's fair share of the node, right now.
             let threads = (ctx.total_threads / ctx.active.load(Ordering::SeqCst).max(1)).max(1);
-            let chunk_t0 = Instant::now();
-            let results: Vec<ScreenResult> =
-                mudock_pool::parallel_map(&chunk, threads, |i, lig| {
+            let (results, pool_stats): (Vec<ScreenResult>, _) =
+                mudock_pool::parallel_map_stats(&chunk, threads, |i, lig| {
                     dock_ligand(&engine, lig, &params, offset + i)
                 });
-            sizer.observe(chunk.len(), chunk_t0.elapsed());
+            ctx.obs
+                .job_dock_chunk(shared.id, &shared.trace, &pool_stats);
+            sizer.observe(chunk.len(), pool_stats.elapsed);
 
             let mut chunk_top: TopK<(usize, String)> = TopK::new(spec.campaign.top_k);
             for (i, r) in results.iter().enumerate() {
@@ -479,6 +544,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                 }
             }
 
+            let has_sink = sink.is_some() || ckpt.is_some();
             let io = || -> std::io::Result<()> {
                 if let Some(sink) = &mut sink {
                     for (i, r) in results.iter().enumerate() {
@@ -497,14 +563,21 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
                 }
                 Ok(())
             };
-            if let Err(e) = io() {
+            let sink_t0 = now_ns();
+            let flushed = io();
+            if has_sink {
+                // Only record a sink span when there was a sink to
+                // flush — sinkless jobs would pollute the stage
+                // histogram with zeros.
+                ctx.obs
+                    .job_sink_flush(shared.id, &shared.trace, now_ns().saturating_sub(sink_t0));
+            }
+            if let Err(e) = flushed {
                 state = JobState::Failed;
                 error = Some(format!("result sink: {e}"));
                 break;
             }
-            ctx.counters
-                .ligands
-                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            ctx.counters.ligands.add(chunk.len() as u64);
             ligands_done += chunk.len();
             offset += chunk.len();
         }

@@ -76,9 +76,12 @@
 //!
 //! A **job report** (`GET /jobs/{id}` body) is
 //! [`status_to_json`]/[`JobStatus`]: `id`, `name`, `state`,
-//! `ligands_done`, `chunks_done`, and — once terminal — an `outcome`
-//! object with `replayed_chunks`, `grid_cache_hit`, `stopped_early`,
-//! `elapsed_ns`, `error`, and the ranked `top` array of
+//! `ligands_done`, `chunks_done`, a `stages` object with the per-stage
+//! wall-clock breakdown (`queue_wait_ns`, `grid_ns`, `grid_source`,
+//! `dock_ns`, `dock_chunks`, `sink_ns`, `total_ns` — `null` until the
+//! stage happens), and — once terminal — an `outcome` object with
+//! `replayed_chunks`, `grid_cache_hit`, `stopped_early`, `elapsed_ns`,
+//! `error`, and the ranked `top` array of
 //! `{"index": N, "name": S, "score": F}` entries.
 
 use std::sync::Arc;
@@ -90,6 +93,7 @@ use mudock_core::{
 };
 use mudock_grids::GridDims;
 use mudock_mol::{Molecule, Vec3};
+use mudock_obs::{GridSource, StageTimings};
 use mudock_simd::SimdLevel;
 
 use crate::ingest::LigandSource;
@@ -1697,6 +1701,9 @@ pub struct JobStatus {
     pub state: JobState,
     pub ligands_done: usize,
     pub chunks_done: usize,
+    /// Per-stage wall-clock breakdown; `None` when the peer predates
+    /// stage tracing.
+    pub stages: Option<StageTimings>,
     /// Present once the job reached a terminal state.
     pub outcome: Option<JobOutcome>,
 }
@@ -1718,6 +1725,7 @@ pub fn status_to_json(
     state: JobState,
     ligands_done: usize,
     chunks_done: usize,
+    stages: &StageTimings,
     outcome: Option<&JobOutcome>,
 ) -> Json {
     let mut members = vec![
@@ -1726,11 +1734,51 @@ pub fn status_to_json(
         ("state".into(), Json::str(state_name(state))),
         ("ligands_done".into(), Json::usize(ligands_done)),
         ("chunks_done".into(), Json::usize(chunks_done)),
+        ("stages".into(), stages_to_json(stages)),
     ];
     if let Some(o) = outcome {
         members.push(("outcome".into(), outcome_to_json(o)));
     }
     Json::Obj(members)
+}
+
+/// Encode a [`StageTimings`] breakdown: one key per stage, `null`
+/// until that stage has happened.
+fn stages_to_json(s: &StageTimings) -> Json {
+    let opt = |v: Option<u64>| match v {
+        Some(n) => Json::u64(n),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("queue_wait_ns".into(), opt(s.queue_wait_ns)),
+        ("grid_ns".into(), opt(s.grid_ns)),
+        (
+            "grid_source".into(),
+            match s.grid_source {
+                Some(g) => Json::str(g.name()),
+                None => Json::Null,
+            },
+        ),
+        ("dock_ns".into(), opt(s.dock_ns)),
+        ("dock_chunks".into(), Json::u64(s.dock_chunks)),
+        ("sink_ns".into(), opt(s.sink_ns)),
+        ("total_ns".into(), opt(s.total_ns)),
+    ])
+}
+
+/// Decode a `stages` object. Tolerant by design: every field defaults
+/// to "not yet", and an unknown `grid_source` decodes as absent rather
+/// than failing the whole status.
+fn stages_from_json(v: &Json) -> Result<StageTimings, WireError> {
+    Ok(StageTimings {
+        queue_wait_ns: get_u64(v, "queue_wait_ns")?,
+        grid_ns: get_u64(v, "grid_ns")?,
+        grid_source: get_str(v, "grid_source")?.and_then(GridSource::parse),
+        dock_ns: get_u64(v, "dock_ns")?,
+        dock_chunks: get_u64(v, "dock_chunks")?.unwrap_or(0),
+        sink_ns: get_u64(v, "sink_ns")?,
+        total_ns: get_u64(v, "total_ns")?,
+    })
 }
 
 fn outcome_to_json(o: &JobOutcome) -> Json {
@@ -1773,6 +1821,10 @@ pub fn status_from_json(v: &Json) -> Result<JobStatus, WireError> {
         .ok_or_else(|| WireError::invalid("state", format!("unknown state '{state_str}'")))?;
     let ligands_done = get_usize(v, "ligands_done")?.unwrap_or(0);
     let chunks_done = get_usize(v, "chunks_done")?.unwrap_or(0);
+    let stages = match v.get("stages") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(stages_from_json(s)?),
+    };
     let outcome = match v.get("outcome") {
         None | Some(Json::Null) => None,
         Some(o) => Some(JobOutcome {
@@ -1809,6 +1861,7 @@ pub fn status_from_json(v: &Json) -> Result<JobStatus, WireError> {
         state,
         ligands_done,
         chunks_done,
+        stages,
         outcome,
     })
 }
@@ -2067,14 +2120,43 @@ mod tests {
             elapsed: Duration::from_nanos(123_456_789),
             error: None,
         };
-        let text = status_to_json(9, "job", JobState::Completed, 12, 2, Some(&outcome)).encode();
+        let stages = StageTimings {
+            queue_wait_ns: Some(1_500),
+            grid_ns: Some(2_000_000),
+            grid_source: Some(GridSource::Reloaded),
+            dock_ns: Some(40_000_000),
+            dock_chunks: 2,
+            sink_ns: None,
+            total_ns: Some(45_000_000),
+        };
+        let text = status_to_json(
+            9,
+            "job",
+            JobState::Completed,
+            12,
+            2,
+            &stages,
+            Some(&outcome),
+        )
+        .encode();
         let status = status_from_json(&parse(&text).unwrap()).unwrap();
         assert!(status.is_terminal());
+        assert_eq!(status.stages, Some(stages), "stage breakdown round-trips");
         let got = status.outcome.expect("terminal outcome");
         assert_eq!(got.top, outcome.top);
         assert_eq!(got.elapsed, outcome.elapsed);
         assert_eq!(got.stopped_early, outcome.stopped_early);
         assert_eq!(got.replayed_chunks, outcome.replayed_chunks);
+    }
+
+    #[test]
+    fn status_without_stages_still_decodes() {
+        // A status from a peer that predates stage tracing.
+        let text = r#"{"id": 1, "name": "old", "state": "running",
+                       "ligands_done": 4, "chunks_done": 1}"#;
+        let status = status_from_json(&parse(text).unwrap()).unwrap();
+        assert_eq!(status.stages, None);
+        assert_eq!(status.ligands_done, 4);
     }
 
     #[test]

@@ -81,8 +81,8 @@ proptest! {
         std::fs::remove_file(&resaved).ok();
 
         // The cache's own miss path reloads those exact bits.
-        let (reloaded, hit) = cache.get_or_build(&rec_a, dims, level, None);
-        prop_assert!(!hit);
+        let (reloaded, src) = cache.get_or_build(&rec_a, dims, level, None);
+        prop_assert_eq!(src, mudock_obs::GridSource::Reloaded);
         prop_assert_eq!(cache.stats().reloads, 1);
         prop_assert!(!Arc::ptr_eq(&built_a, &reloaded), "must come from disk");
         assert_bits_equal(&built_a, &reloaded);

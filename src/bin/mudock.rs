@@ -15,6 +15,7 @@
 //! mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L)
 //!               [campaign options] [--priority low|normal|high]
 //! mudock poll   --addr HOST:PORT ID [--wait] [--results] [--cancel]
+//! mudock stats  --addr HOST:PORT [--metrics]          # /stats JSON or /metrics text
 //! ```
 //!
 //! Every subcommand builds one [`CampaignSpec`](mudock::core::CampaignSpec)
@@ -40,7 +41,7 @@ use mudock::grids::{GridBuilder, GridDims};
 use mudock::mol::{Molecule, Vec3};
 
 fn usage() -> &'static str {
-    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n  mudock serve --listen ADDR [--jobs J] [--threads T] [--results DIR]\n  mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L) [options]\n  mudock poll --addr HOST:PORT ID [--wait] [--results] [--cancel] [--interval-ms MS]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n  --shard-weight W  relative executor share vs other receptors (default 1)\n  --single-queue    opt out of receptor sharding (pure priority/FIFO)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --shards N        receptor shard groups slots are split across\n                    (serve only; default 0 = one per live receptor)\n  --cache N         grid sets kept resident (serve only, default 4)\n  --spill-dir DIR   spill evicted grids to DIR and reload on the next\n                    miss instead of rebuilding (serve only)\n  --spill-cap N     spill files kept in --spill-dir (default 16)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)\n\nnetwork options:\n  --listen ADDR     serve the HTTP API on ADDR (port 0 picks one; serve only)\n  --results DIR     per-job JSONL result files (serve --listen only)\n  --allow-path-sources  accept server-side {\"path\": ...} sources (off by default)\n  --max-conns N     open connections held before load-shedding 503s\n                    (serve --listen only, default 1024)\n  --idle-s S        keep-alive idle-connection timeout in seconds (default 60)\n  --header-s S      request-header read deadline in seconds (default 10)\n  --addr HOST:PORT  server to talk to (submit/poll)\n  --name NAME       campaign name (submit, default 'remote')\n  --priority P      low|normal|high (submit, default normal)\n  --ligands FILE    multi-model PDBQT ligand library (submit)\n  --receptor-seed S synthetic receptor seed for submit --demo, so two\n                    submissions can target different receptors/shards\n  --wait            poll until the job is terminal\n  --results (poll)  print the job's JSONL results\n  --cancel          request cancellation\n  --interval-ms MS  poll interval for --wait (default 100)"
+    "usage:\n  mudock info <file.pdbqt>\n  mudock dock --receptor R.pdbqt --ligand L.pdbqt [options]\n  mudock dock --demo [options]\n  mudock screen --demo N [--threads T] [options]\n  mudock serve --demo N [--jobs J] [--threads T] [options]\n  mudock serve --listen ADDR [--jobs J] [--threads T] [--results DIR]\n  mudock submit --addr HOST:PORT (--demo N | --receptor R --ligands L) [options]\n  mudock poll --addr HOST:PORT ID [--wait] [--results] [--cancel] [--interval-ms MS]\n  mudock stats --addr HOST:PORT [--metrics]\n\ncampaign options (validated; bad values exit with code 2):\n  --backend <reference|autovec|scalar|sse2|avx2|avx512>  (default: best available;\n                    naming a SIMD level pins the job's grids to that level)\n  --generations N   (default 150)\n  --population P    (default 100)\n  --seed S          (default 42)\n  --radius R        search radius in Å (default: grid-derived)\n  --local-search    enable Solis-Wets Lamarckian refinement\n  --top K           ranking size (default 10)\n  --chunk C         ligands per chunk (default 16)\n  --chunk-target-ms MS   adaptive chunks sized to ~MS wall-clock each\n  --max-evals N     stop after N pose evaluations\n  --deadline-s S    stop after S seconds of wall-clock\n  --stable-window W stop once the top-k held still for W chunks\n  --stable-eps E    score tolerance for --stable-window (default 0)\n  --shard-weight W  relative executor share vs other receptors (default 1)\n  --single-queue    opt out of receptor sharding (pure priority/FIFO)\n\nother options:\n  --out FILE        write the best pose as PDBQT (dock only)\n  --threads T       worker threads (screen/serve)\n  --jobs J          concurrent service jobs (serve only, default 2)\n  --shards N        receptor shard groups slots are split across\n                    (serve only; default 0 = one per live receptor)\n  --cache N         grid sets kept resident (serve only, default 4)\n  --spill-dir DIR   spill evicted grids to DIR and reload on the next\n                    miss instead of rebuilding (serve only)\n  --spill-cap N     spill files kept in --spill-dir (default 16)\n  --jsonl DIR       stream per-ligand JSONL results into DIR (serve only)\n  --checkpoint DIR  write per-job chunk checkpoints into DIR (serve only)\n  --trace-file FILE append per-stage span JSONL to FILE, bounded (serve only)\n\nnetwork options:\n  --listen ADDR     serve the HTTP API on ADDR (port 0 picks one; serve only)\n  --results DIR     per-job JSONL result files (serve --listen only)\n  --allow-path-sources  accept server-side {\"path\": ...} sources (off by default)\n  --max-conns N     open connections held before load-shedding 503s\n                    (serve --listen only, default 1024)\n  --idle-s S        keep-alive idle-connection timeout in seconds (default 60)\n  --header-s S      request-header read deadline in seconds (default 10)\n  --addr HOST:PORT  server to talk to (submit/poll)\n  --name NAME       campaign name (submit, default 'remote')\n  --priority P      low|normal|high (submit, default normal)\n  --ligands FILE    multi-model PDBQT ligand library (submit)\n  --receptor-seed S synthetic receptor seed for submit --demo, so two\n                    submissions can target different receptors/shards\n  --wait            poll until the job is terminal\n  --results (poll)  print the job's JSONL results\n  --cancel          request cancellation\n  --interval-ms MS  poll interval for --wait (default 100)\n  --metrics (stats) print the Prometheus /metrics text instead of /stats JSON"
 }
 
 /// CLI failure with its exit code: usage/validation errors (exit 2,
@@ -433,6 +434,10 @@ fn serve_config_from(
         shards: num(flags, "shards", 0usize)?,
         cache_capacity,
         spill,
+        trace: flags
+            .get("trace-file")
+            .filter(|p| !p.is_empty())
+            .map(mudock::serve::TraceConfig::new),
         ..defaults
     })
 }
@@ -568,7 +573,7 @@ fn cmd_serve_listen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     std::io::stdout().flush().ok();
     eprintln!(
         "endpoints: POST /jobs, GET /jobs/{{id}}, GET /jobs/{{id}}/results, \
-         DELETE /jobs/{{id}}, GET /healthz, GET /stats"
+         DELETE /jobs/{{id}}, GET /healthz, GET /stats, GET /metrics"
     );
     // Serve until the process is killed; jobs run on the service's
     // executors, connections on the frontend's event-loop thread.
@@ -697,6 +702,33 @@ fn cmd_poll(flags: &HashMap<String, String>, positional: &[String]) -> Result<()
     Ok(())
 }
 
+/// `mudock stats`: one `/stats` snapshot (JSON) from a remote server —
+/// or, with `--metrics`, the raw Prometheus text exposition. Both go
+/// to stdout verbatim for piping into `jq` / `promtool`.
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use mudock::serve::net::client;
+
+    let addr = flags
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| CliError::Usage("stats needs --addr HOST:PORT".into()))?;
+    let path = if flags.contains_key("metrics") {
+        "/metrics"
+    } else {
+        "/stats"
+    };
+    let run = |e: client::ClientError| CliError::Run(e.to_string());
+    let resp = client::request(addr, "GET", path, None)
+        .map_err(run)?
+        .ok()
+        .map_err(run)?;
+    print!("{}", resp.body);
+    if !resp.body.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -709,6 +741,7 @@ fn main() -> ExitCode {
     // for `serve` it takes a directory.
     let boolean: &[&str] = match cmd.as_str() {
         "poll" => &["wait", "cancel", "results"],
+        "stats" => &["metrics"],
         "serve" => &["local-search", "allow-path-sources", "single-queue"],
         "dock" | "screen" | "submit" => &["local-search", "single-queue"],
         _ => &[],
@@ -721,6 +754,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "submit" => cmd_submit(&flags),
         "poll" => cmd_poll(&flags, &positional),
+        "stats" => cmd_stats(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
