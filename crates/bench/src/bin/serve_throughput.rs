@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p mudock-bench --bin serve_throughput \
-//!     [ligands_per_job] [jobs] [--net] [--receptors N] [--concurrency C]
+//!     [ligands_per_job] [jobs] [--net] [--receptors N] [--concurrency C] [--cluster N]
 //! ```
 //!
 //! Every gated datapoint is sampled the same way: one untimed warmup
@@ -36,12 +36,22 @@
 //! that degrades with open sockets (or stalls requests behind idle
 //! peers) fails here long before production traffic would find it.
 //!
+//! With `--cluster N`, a federation leg runs the same socket workload
+//! against a coordinator fronting N loopback member nodes: every job is
+//! scattered into per-member ligand windows, screened in parallel, and
+//! gathered back through the deterministic top-k merge. The
+//! `"cluster": {...}` datapoint records `ligands_per_sec` through the
+//! whole scatter/gather path, so coordinator overhead (double HTTP hop,
+//! window planning, partial-ranking merge) sits under the same ±25 %
+//! regression gate as the single-node paths.
+//!
 //! Thread count follows `MUDOCK_THREADS` (see `mudock_pool`), so CI runs
 //! are reproducible.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mudock_cluster::{ClusterConfig, Coordinator};
 use mudock_core::{Campaign, CampaignSpec, ChunkPolicy};
 use mudock_grids::GridDims;
 use mudock_mol::Vec3;
@@ -247,6 +257,94 @@ fn concurrency_leg(
     (elapsed, total / elapsed.max(1e-9), p50, p99)
 }
 
+/// The federation leg: N loopback member nodes under one coordinator,
+/// the same jobs submitted against the coordinator and scattered into
+/// per-member ligand windows. Each member gets the full thread budget —
+/// the point is coordinator overhead, not oversubscription accounting.
+/// Returns `(elapsed_s, ligands_per_sec)`.
+fn cluster_leg(
+    n_ligands: usize,
+    jobs: usize,
+    threads: usize,
+    dims: GridDims,
+    nodes: usize,
+) -> (f64, f64) {
+    let mut members = Vec::with_capacity(nodes);
+    let mut addrs = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let service = Arc::new(ScreenService::start(ServeConfig {
+            total_threads: threads,
+            job_slots: 2 * jobs,
+            ..ServeConfig::default()
+        }));
+        let results_dir =
+            std::env::temp_dir().join(format!("mudock-bench-cluster-{}-{i}", std::process::id()));
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                results_dir: results_dir.clone(),
+                ..NetConfig::default()
+            },
+        )
+        .expect("member loopback bind");
+        addrs.push(server.local_addr().to_string());
+        members.push((service, server, results_dir));
+    }
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ClusterConfig {
+            nodes: addrs,
+            health_interval: Duration::from_millis(100),
+            scatter_min_ligands: 2,
+            poll_interval: Duration::from_millis(5),
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("coordinator loopback bind");
+    let addr = coordinator.local_addr().to_string();
+    let receptor = ReceptorSource::Synth {
+        seed: 0xbe2c,
+        atoms: 300,
+        radius: 9.0,
+    };
+
+    let mut conn = client::Client::new(&addr);
+    let (elapsed, batches) = sample(|| {
+        let ids: Vec<u64> = (0..jobs)
+            .map(|j| {
+                conn.submit(
+                    &bench_campaign(j, dims),
+                    &receptor,
+                    &LigandSource::synth(j as u64, n_ligands),
+                    Priority::Normal,
+                )
+                .expect("bench submission against the coordinator")
+            })
+            .collect();
+        for id in ids {
+            let status = conn
+                .wait(id, Duration::from_millis(5))
+                .expect("poll the coordinator to terminal");
+            assert_eq!(
+                status.state,
+                JobState::Completed,
+                "cluster bench job failed"
+            );
+            assert_eq!(status.ligands_done, n_ligands);
+        }
+    });
+    drop(conn);
+    coordinator.shutdown();
+    for (service, mut server, results_dir) in members {
+        server.shutdown();
+        service.shutdown();
+        std::fs::remove_dir_all(&results_dir).ok();
+    }
+    let total = (batches * jobs * n_ligands) as f64;
+    (elapsed, total / elapsed.max(1e-9))
+}
+
 /// The multi-receptor leg: the same per-job ligand budget, but every
 /// job targets a *different* receptor, the resident cache holds one
 /// grid set, and evictions spill to disk. Round-robin across receptors
@@ -319,6 +417,7 @@ fn main() {
     let mut with_net = false;
     let mut receptors = 0usize;
     let mut concurrency = 0usize;
+    let mut cluster = 0usize;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -336,6 +435,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--concurrency needs a connection count");
             }
+            "--cluster" => {
+                cluster = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cluster needs a member node count");
+            }
             // An unrecognized flag must fail loudly: silently treating
             // it as a positional would run (and baseline) a different
             // configuration than the caller asked for.
@@ -343,7 +448,7 @@ fn main() {
                 eprintln!(
                     "serve_throughput: unknown flag '{flag}'\n\
                      usage: serve_throughput [ligands_per_job] [jobs] [--net] \
-                     [--receptors N] [--concurrency C]"
+                     [--receptors N] [--concurrency C] [--cluster N]"
                 );
                 std::process::exit(2);
             }
@@ -404,6 +509,9 @@ fn main() {
     // The multi-receptor datapoint: target churn through a capacity-1
     // cache with the spill tier on.
     let multi = (receptors > 0).then(|| multi_leg(n_ligands, receptors, threads));
+    // The federation datapoint: the same jobs scattered across N member
+    // nodes under a coordinator and gathered through the top-k merge.
+    let clus = (cluster > 0).then(|| cluster_leg(n_ligands, jobs, threads, dims, cluster));
 
     let mut json = format!(
         concat!(
@@ -453,6 +561,20 @@ fn main() {
         eprintln!(
             "multi-receptor path ({receptors} targets): {multi_lps:.1} ligands/s, \
              {spills} spills / {reloads} reloads"
+        );
+    }
+    if let Some((clus_elapsed, clus_lps)) = clus {
+        json.push_str(&format!(
+            concat!(
+                ",\"cluster\":{{\"nodes\":{},\"elapsed_s\":{:.4},",
+                "\"ligands_per_sec\":{:.2}}}"
+            ),
+            cluster, clus_elapsed, clus_lps,
+        ));
+        eprintln!(
+            "cluster path ({cluster} member nodes): {clus_lps:.1} ligands/s \
+             ({:.1} % of in-process)",
+            100.0 * clus_lps / ligands_per_sec.max(1e-9)
         );
     }
     json.push_str("}\n");

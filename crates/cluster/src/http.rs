@@ -1,0 +1,455 @@
+//! The coordinator's HTTP frontend.
+//!
+//! Speaks the same HTTP/1.1 + wire-JSON dialect as a member node, on
+//! purpose: a client pointed at a coordinator cannot tell it is not
+//! talking to a single `mudock serve` — `POST /jobs`, `GET /jobs/{id}`,
+//! `GET /jobs/{id}/results`, `DELETE /jobs/{id}`, `/healthz`, `/stats`
+//! and `/metrics` all answer with the node frontend's shapes (status
+//! bodies go through `wire::status_to_json` itself). The differences
+//! are additive only: `/healthz` carries `"role":"coordinator"`, and
+//! `/stats` describes members instead of shards.
+//!
+//! Unlike the node's epoll reactor (`serve::net`), this frontend is a
+//! plain blocking thread-per-connection server. The coordinator's
+//! request rate is human-scale — submissions and polls, not dock
+//! chunks — so the readiness machinery would buy nothing here; what
+//! matters is that the *dialect* matches, and the simple server is
+//! easy to audit. Keep-alive with `Content-Length` framing is
+//! supported; idle connections are bounded by a read timeout.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mudock_grids::grid_cache_key;
+use mudock_serve::wire::{self, Json, WireError};
+use mudock_serve::{JobState, StageTimings};
+
+use crate::membership::Membership;
+use crate::metrics::ClusterMetrics;
+use crate::router::Router;
+use crate::scatter::{self, ClusterJob, GatherConfig};
+use crate::ClusterConfig;
+
+/// Largest accepted request body. Generous: inline ligand libraries
+/// ride through the coordinator on their way to members.
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// How long an idle keep-alive connection may sit before we close it.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything a request handler can reach.
+pub(crate) struct CoordinatorState {
+    pub membership: Arc<Membership>,
+    pub router: Arc<Router>,
+    pub metrics: Arc<ClusterMetrics>,
+    pub cfg: ClusterConfig,
+    pub jobs: Mutex<Vec<Arc<ClusterJob>>>,
+    pub next_id: AtomicU64,
+    /// Boot-random coordinator identity (same scheme as a node's).
+    pub node_id: u64,
+    /// Set at shutdown; gather loops and the accept loop watch it.
+    pub stop: Arc<AtomicBool>,
+}
+
+impl CoordinatorState {
+    fn job(&self, id: u64) -> Option<Arc<ClusterJob>> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+}
+
+/// Accept loop: one OS thread per connection. Returns when `stop` is
+/// raised. `listener` must already be non-blocking.
+pub(crate) fn serve(listener: TcpListener, state: Arc<CoordinatorState>) {
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name("cluster-conn".into())
+                    .spawn(move || handle_conn(stream, state))
+                    .ok();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: Arc<CoordinatorState>) {
+    if stream.set_nonblocking(false).is_err() {
+        return; // inherited the listener's non-blocking flag
+    }
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut request_line = String::new();
+        match reader.read_line(&mut request_line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(_) => return, // idle timeout or broken pipe
+        }
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+            return;
+        };
+        let (method, path) = (method.to_string(), path.to_string());
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut header = String::new();
+            let n = match reader.read_line(&mut header) {
+                Ok(n) => n,
+                Err(_) => return,
+            };
+            let header = header.trim_end();
+            if n == 0 || header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        if content_length > MAX_BODY {
+            let _ = write_response(
+                reader.get_mut(),
+                413,
+                "application/json",
+                &error_body(format!("body exceeds {MAX_BODY} bytes")),
+                true,
+            );
+            return;
+        }
+        let body = if content_length > 0 {
+            let mut buf = vec![0u8; content_length];
+            if reader.read_exact(&mut buf).is_err() {
+                return;
+            }
+            Some(String::from_utf8_lossy(&buf).into_owned())
+        } else {
+            None
+        };
+
+        let (status, ctype, body) = route(&method, &path, body.as_deref(), &state);
+        if write_response(reader.get_mut(), status, ctype, &body, close).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    ctype: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(message: impl Into<String>) -> String {
+    Json::Obj(vec![("error".into(), Json::str(message.into()))]).encode()
+}
+
+type Response = (u16, &'static str, String);
+
+fn json(status: u16, v: &Json) -> Response {
+    (status, "application/json", v.encode())
+}
+
+fn error(status: u16, message: impl Into<String>) -> Response {
+    (status, "application/json", error_body(message))
+}
+
+fn wire_error(e: &WireError) -> Response {
+    error(e.http_status(), e.to_string())
+}
+
+fn route(
+    method: &str,
+    raw_path: &str,
+    body: Option<&str>,
+    state: &Arc<CoordinatorState>,
+) -> Response {
+    let path = raw_path.split('?').next().unwrap_or(raw_path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => json(
+            200,
+            &Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("role".into(), Json::str("coordinator")),
+                ("node".into(), Json::str(format!("{:016x}", state.node_id))),
+                ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            ]),
+        ),
+        ("GET", ["stats"]) => json(200, &stats_json(state)),
+        ("GET", ["metrics"]) => (
+            200,
+            "text/plain; version=0.0.4",
+            state.metrics.registry.render_prometheus(),
+        ),
+        ("POST", ["jobs"]) => submit(body, state),
+        ("GET", ["jobs", id]) => with_job(state, id, |job| json(200, &status_json(job))),
+        ("GET", ["jobs", id, "results"]) => {
+            with_job(state, id, |job| (200, "application/jsonl", job.results()))
+        }
+        ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
+            job.cancel();
+            json(200, &status_json(job))
+        }),
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
+            error(405, format!("method {method} not allowed on {path}"))
+        }
+        _ => error(404, format!("no route for {path}")),
+    }
+}
+
+fn with_job(
+    state: &Arc<CoordinatorState>,
+    id: &str,
+    f: impl FnOnce(&ClusterJob) -> Response,
+) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return error(400, "job id must be an integer");
+    };
+    match state.job(id) {
+        Some(job) => f(&job),
+        None => error(404, format!("no such job {id}")),
+    }
+}
+
+/// A cluster job's status in the node frontend's exact shape, so node
+/// clients (`client::Client::wait`) work against the coordinator
+/// unchanged. Stage timings are a node-level concept — per-part timings
+/// live on the members — so the coordinator reports them empty.
+fn status_json(job: &ClusterJob) -> Json {
+    let s = job.status();
+    wire::status_to_json(
+        job.id,
+        &job.name,
+        s.state,
+        s.ligands_done,
+        s.chunks_done,
+        &StageTimings::default(),
+        s.outcome.as_ref(),
+    )
+}
+
+fn stats_json(state: &Arc<CoordinatorState>) -> Json {
+    let members: Vec<Json> = state
+        .membership
+        .snapshot()
+        .into_iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("addr".into(), Json::str(m.addr)),
+                ("state".into(), Json::str(m.state.name())),
+                (
+                    "node".into(),
+                    match m.node {
+                        Some(id) => Json::str(format!("{id:016x}")),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "consecutive_failures".into(),
+                    Json::u64(m.consecutive_failures as u64),
+                ),
+                ("restarts".into(), Json::u64(m.restarts)),
+                ("inflight".into(), Json::usize(m.inflight)),
+                ("stats_generation".into(), Json::u64(m.stats_generation)),
+                ("shard_count".into(), Json::usize(m.shard_count)),
+            ])
+        })
+        .collect();
+    let (active, terminal) = {
+        let jobs = state.jobs.lock().unwrap();
+        let active = jobs
+            .iter()
+            .filter(|j| matches!(j.status().state, JobState::Queued | JobState::Running))
+            .count();
+        (active, jobs.len() - active)
+    };
+    Json::Obj(vec![
+        ("role".into(), Json::str("coordinator")),
+        ("node".into(), Json::str(format!("{:016x}", state.node_id))),
+        ("members".into(), Json::Arr(members)),
+        (
+            "jobs".into(),
+            Json::Obj(vec![
+                ("active".into(), Json::usize(active)),
+                ("terminal".into(), Json::usize(terminal)),
+            ]),
+        ),
+    ])
+}
+
+fn submit(body: Option<&str>, state: &Arc<CoordinatorState>) -> Response {
+    let Some(body) = body else {
+        return error(400, "POST /jobs requires a JSON body");
+    };
+    let parsed = match wire::parse(body) {
+        Ok(v) => v,
+        Err(e) => return wire_error(&e),
+    };
+    let sub = match wire::submission_from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => return wire_error(&e),
+    };
+    // Same trust posture as a node: a path source would make *members*
+    // read coordinator-named files; forward only when opted in.
+    if !state.cfg.allow_path_sources && sub.uses_path_sources() {
+        return error(
+            403,
+            "server-side 'path' sources are disabled on this coordinator; \
+             ship the PDBQT text inline instead",
+        );
+    }
+    // Load the receptor once, coordinator-side, purely to compute the
+    // same grid fingerprint members publish in their shard tables —
+    // that key is what affinity routing matches on. The receptor
+    // *source* (not the parsed molecule) is what gets forwarded.
+    let receptor = match sub.load_receptor() {
+        Ok(r) => r,
+        Err(e) => return wire_error(&e),
+    };
+    let fingerprint = grid_cache_key(&receptor, &sub.campaign.dims_for(&receptor));
+    drop(receptor);
+
+    let alive = state.membership.alive();
+    if alive.is_empty() {
+        return error(503, "no cluster members are alive");
+    }
+    // Scatter only whole-stream submissions with a known length; a
+    // pre-sliced submission (another coordinator upstream?) passes
+    // through as a single part.
+    let slices = match sub.slice {
+        Some(s) => vec![Some(s)],
+        None => scatter::plan_slices(
+            sub.ligands.len_hint(),
+            alive.len().min(state.cfg.max_parts.max(1)),
+            state.cfg.scatter_min_ligands,
+        ),
+    };
+
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(ClusterJob::new(
+        id,
+        sub.campaign.name.clone(),
+        sub.campaign.top_k,
+        slices,
+    ));
+    {
+        let mut jobs = state.jobs.lock().unwrap();
+        jobs.push(Arc::clone(&job));
+        // Bound coordinator memory like the node bounds its retained
+        // jobs: drop the oldest terminal entries beyond the cap.
+        let cap = state.cfg.max_retained_jobs.max(1);
+        while jobs.len() > cap {
+            if let Some(pos) = jobs
+                .iter()
+                .position(|j| !matches!(j.status().state, JobState::Queued | JobState::Running))
+            {
+                jobs.remove(pos);
+            } else {
+                break;
+            }
+        }
+    }
+    state.metrics.jobs_submitted.inc();
+
+    let gather = GatherConfig {
+        poll_interval: state.cfg.poll_interval,
+        max_attempts: state.cfg.max_attempts,
+    };
+    let runner_job = Arc::clone(&job);
+    let membership = Arc::clone(&state.membership);
+    let router = Arc::clone(&state.router);
+    let metrics = Arc::clone(&state.metrics);
+    let stop = Arc::clone(&state.stop);
+    std::thread::Builder::new()
+        .name(format!("cluster-job-{id}"))
+        .spawn(move || {
+            scatter::run(
+                runner_job,
+                sub,
+                fingerprint,
+                membership,
+                router,
+                metrics,
+                gather,
+                stop,
+            )
+        })
+        .ok();
+
+    json(
+        201,
+        &Json::Obj(vec![
+            ("id".into(), Json::u64(id)),
+            (
+                "state".into(),
+                Json::str(wire::state_name(JobState::Queued)),
+            ),
+            ("results".into(), Json::str(format!("/jobs/{id}/results"))),
+        ]),
+    )
+}
+
+/// Boot-random coordinator identity, same recipe as the node frontend.
+pub(crate) fn boot_node_id(addr: SocketAddr) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    mudock_grids::Fnv64::new()
+        .write_u64(nanos)
+        .write_u64(std::process::id() as u64)
+        .write(addr.to_string().as_bytes())
+        .finish()
+}

@@ -1,0 +1,107 @@
+//! The coordinator's `mudock_cluster_*` instrument families, registered
+//! through the same [`mudock_obs::Registry`] the node frontend uses —
+//! `GET /metrics` on the coordinator renders this registry, and
+//! `/stats` reads the same atomics, so the two views can never
+//! disagree.
+
+use std::sync::Arc;
+
+use mudock_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Every cluster-level instrument, registered once at bind.
+pub struct ClusterMetrics {
+    /// The registry `GET /metrics` renders.
+    pub registry: Registry,
+    /// Members currently considered alive.
+    pub members_alive: Arc<Gauge>,
+    /// Members currently considered dead.
+    pub members_dead: Arc<Gauge>,
+    /// Health probes that failed (per-attempt, not per-transition).
+    pub probe_failures: Arc<Counter>,
+    /// Node-id changes observed behind a stable member address.
+    pub member_restarts: Arc<Counter>,
+    /// Cluster jobs accepted.
+    pub jobs_submitted: Arc<Counter>,
+    /// Cluster jobs that reached `completed`.
+    pub jobs_completed: Arc<Counter>,
+    /// Cluster jobs that reached `failed`.
+    pub jobs_failed: Arc<Counter>,
+    /// Sub-jobs dispatched to members (re-dispatches included).
+    pub subjobs_dispatched: Arc<Counter>,
+    /// Sub-jobs re-dispatched after a member failure.
+    pub redispatches: Arc<Counter>,
+    /// Routing decisions that hit receptor affinity.
+    pub routed_affinity: Arc<Counter>,
+    /// Routing decisions that fell back to lowest occupancy.
+    pub routed_occupancy: Arc<Counter>,
+    /// Submission-to-merged wall clock of completed cluster jobs.
+    pub gather_seconds: Arc<Histogram>,
+}
+
+impl ClusterMetrics {
+    pub fn register(registry: &Registry) -> ClusterMetrics {
+        ClusterMetrics {
+            members_alive: registry.gauge(
+                "mudock_cluster_members",
+                &[("state", "alive")],
+                "Member nodes by liveness state",
+            ),
+            members_dead: registry.gauge(
+                "mudock_cluster_members",
+                &[("state", "dead")],
+                "Member nodes by liveness state",
+            ),
+            probe_failures: registry.counter(
+                "mudock_cluster_probe_failures_total",
+                &[],
+                "Failed member health probes",
+            ),
+            member_restarts: registry.counter(
+                "mudock_cluster_member_restarts_total",
+                &[],
+                "Node-id changes observed behind a stable member address",
+            ),
+            jobs_submitted: registry.counter(
+                "mudock_cluster_jobs_total",
+                &[("outcome", "submitted")],
+                "Cluster jobs by outcome",
+            ),
+            jobs_completed: registry.counter(
+                "mudock_cluster_jobs_total",
+                &[("outcome", "completed")],
+                "Cluster jobs by outcome",
+            ),
+            jobs_failed: registry.counter(
+                "mudock_cluster_jobs_total",
+                &[("outcome", "failed")],
+                "Cluster jobs by outcome",
+            ),
+            subjobs_dispatched: registry.counter(
+                "mudock_cluster_subjobs_total",
+                &[],
+                "Sub-jobs dispatched to members, re-dispatches included",
+            ),
+            redispatches: registry.counter(
+                "mudock_cluster_redispatches_total",
+                &[],
+                "Sub-jobs re-dispatched after a member failure",
+            ),
+            routed_affinity: registry.counter(
+                "mudock_cluster_routed_total",
+                &[("reason", "affinity")],
+                "Routing decisions by reason",
+            ),
+            routed_occupancy: registry.counter(
+                "mudock_cluster_routed_total",
+                &[("reason", "occupancy")],
+                "Routing decisions by reason",
+            ),
+            gather_seconds: registry.histogram(
+                "mudock_cluster_gather_seconds",
+                &[],
+                "Submission-to-merged wall clock of completed cluster jobs",
+            ),
+            registry: registry.clone(),
+        }
+    }
+}

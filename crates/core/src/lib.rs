@@ -71,4 +71,4 @@ pub use genotype::Genotype;
 pub use local_search::{solis_wets, LocalSearchResult, SolisWetsParams};
 pub use screen::{dock_ligand, ligand_seed, screen, screen_campaign, ScreenResult, ScreenSummary};
 pub use stats::KernelStats;
-pub use topk::TopK;
+pub use topk::{merge_ranked_partials, TopK};

@@ -131,6 +131,37 @@ impl<T> TopK<T> {
     }
 }
 
+/// Rebuild a global top-k ranking from per-partition partial rankings —
+/// the gather side of a scatter/gather screen (cluster sub-jobs,
+/// per-shard partials).
+///
+/// Each element of `parts` must be a partial ranking best-first (as
+/// [`TopK::into_sorted`] emits) computed over one **contiguous window**
+/// of the input stream with the same `k`, and `parts` must arrive in
+/// stream order (ascending window position). Under those conditions the
+/// result is bit-identical — score bits *and* tie order — to running one
+/// [`TopK`] over the unpartitioned stream:
+///
+/// * every globally-retained entry survives its own partition's partial
+///   (the global top-k is a subset of the union of partial top-k's),
+/// * within a partial, equal scores are already ordered by ascending
+///   stream position, and partials are folded in stream order, so the
+///   re-push sees equal scores in ascending global position — exactly
+///   the single-stream insertion order that [`TopK`]'s earlier-wins tie
+///   rule keys on.
+pub fn merge_ranked_partials<T>(
+    k: usize,
+    parts: impl IntoIterator<Item = Vec<(f32, T)>>,
+) -> Vec<(f32, T)> {
+    let mut merged = TopK::new(k);
+    for part in parts {
+        for (score, item) in part {
+            merged.push(score, item);
+        }
+    }
+    merged.into_sorted()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

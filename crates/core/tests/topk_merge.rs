@@ -1,0 +1,78 @@
+//! Partition invariance of the top-k merge — the property the cluster
+//! coordinator's gather path stands on.
+//!
+//! [`merge_ranked_partials`] promises: split a score stream into any
+//! contiguous windows, run an independent [`TopK`] per window, hand the
+//! per-window rankings (best-first, window order) back, and the merged
+//! ranking is **bit-identical** — score bits *and* tie order — to one
+//! [`TopK`] over the unpartitioned stream. Scores are drawn from a
+//! small quantized set so exact-score ties (the hard part: earlier
+//! stream position must win) occur constantly, and a sprinkle of
+//! non-finite scores checks that rejection happens identically on both
+//! paths.
+
+use mudock_core::{merge_ranked_partials, TopK};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Scores with deliberate collisions: a handful of quantized finite
+/// values plus occasional NaN/infinities.
+fn gen_scores(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| match rng.random_range(0u32..20) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            // ~8 distinct values over up to 64 entries → dense ties.
+            _ => (rng.random_range(0i32..8) - 4) as f32 * 1.25,
+        })
+        .collect()
+}
+
+/// Random contiguous partition of `0..len` into non-empty windows
+/// (empty windows are legal for the merge; the partitioner may still
+/// produce one via duplicate cuts — also worth covering).
+fn gen_cuts(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let n = rng.random_range(0usize..6);
+    let mut cuts: Vec<usize> = (0..n).map(|_| rng.random_range(0usize..=len)).collect();
+    cuts.sort_unstable();
+    cuts
+}
+
+proptest! {
+    #[test]
+    fn merging_any_partition_is_bit_identical_to_the_whole(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(0usize..64);
+        let scores = gen_scores(&mut rng, len);
+        let k = rng.random_range(0usize..10);
+
+        // The reference: one accumulator over the whole stream, items
+        // tagged with their global stream position.
+        let mut whole = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            whole.push(s, i);
+        }
+
+        // The cluster path: an independent accumulator per contiguous
+        // window, partial rankings gathered in window order.
+        let cuts = gen_cuts(&mut rng, len);
+        let mut parts: Vec<Vec<(f32, usize)>> = Vec::new();
+        let mut start = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(len)) {
+            let mut part = TopK::new(k);
+            for (i, &s) in scores[start..cut].iter().enumerate() {
+                part.push(s, start + i);
+            }
+            parts.push(part.into_sorted());
+            start = cut;
+        }
+
+        let merged = merge_ranked_partials(k, parts);
+        let as_bits = |v: Vec<(f32, usize)>| -> Vec<(u32, usize)> {
+            v.into_iter().map(|(s, i)| (s.to_bits(), i)).collect()
+        };
+        prop_assert_eq!(as_bits(whole.into_sorted()), as_bits(merged));
+    }
+}

@@ -51,6 +51,27 @@ pub enum JobState {
     Failed,
 }
 
+/// A contiguous window of the ligand stream, identified by its position
+/// in the *full* input. A coordinator fanning one campaign out across
+/// nodes ships the whole [`LigandSource`] plus one slice per sub-job:
+/// the executor skips `skip` ligands, docks `take`, and — crucially —
+/// seeds every ligand by its **global** index, so a sliced run scores
+/// bit-identically to the same window of an unsliced run and partial
+/// rankings merge back losslessly (see `core::topk`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LigandSlice {
+    /// Ligands to skip before the first docked one.
+    pub skip: usize,
+    /// Number of ligands to dock from there.
+    pub take: usize,
+}
+
+impl LigandSlice {
+    pub fn new(skip: usize, take: usize) -> LigandSlice {
+        LigandSlice { skip, take }
+    }
+}
+
 /// One entry of a job's final ranking.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankedLigand {
@@ -128,6 +149,10 @@ pub struct JobSpec {
     pub receptor: Arc<Molecule>,
     /// Lazy ligand stream; never materialized whole.
     pub ligands: LigandSource,
+    /// Dock only this window of the stream (cluster sub-jobs). `None`
+    /// means the whole stream. Seeds and ranked indices stay global —
+    /// relative to the unsliced stream — either way.
+    pub slice: Option<LigandSlice>,
     pub priority: Priority,
     /// Stream per-ligand results to this JSONL file as chunks complete.
     pub jsonl: Option<PathBuf>,
@@ -153,6 +178,7 @@ impl From<CampaignSpec> for JobSpec {
             campaign,
             receptor: Arc::new(Molecule::new("")),
             ligands: LigandSource::synth(0, 0),
+            slice: None,
             priority: Priority::Normal,
             jsonl: None,
             checkpoint: None,

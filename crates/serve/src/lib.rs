@@ -105,8 +105,8 @@ pub mod wire;
 pub use cache::{CacheStats, GridCache, SpillConfig};
 pub use ingest::LigandSource;
 pub use job::{
-    ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, Priority, ProgressFn,
-    RankedLigand,
+    ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, LigandSlice, Priority,
+    ProgressFn, RankedLigand,
 };
 pub use mudock_obs::{GridSource, Registry, StageTimings};
 pub use net::{NetConfig, NetServer};

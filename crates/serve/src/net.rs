@@ -11,7 +11,7 @@
 //! | `GET`    | `/jobs/{id}`         | status / progress / terminal outcome      |
 //! | `GET`    | `/jobs/{id}/results` | the job's per-ligand JSONL stream so far  |
 //! | `DELETE` | `/jobs/{id}`         | request cancellation                      |
-//! | `GET`    | `/healthz`           | liveness (`200 {"ok":true}`)              |
+//! | `GET`    | `/healthz`           | liveness + boot-random node id + version  |
 //! | `GET`    | `/stats`             | service + cache + connection counters     |
 //!
 //! ## Connection model
@@ -134,6 +134,11 @@ struct NetState {
     jobs: Mutex<HashMap<JobId, NetJob>>,
     cfg: NetConfig,
     metrics: NetMetrics,
+    /// Random-at-boot identity served in `/healthz`. A coordinator that
+    /// sees the id change behind a stable address knows the node
+    /// restarted (grids cold, in-flight jobs gone) even though the
+    /// socket still answers.
+    node_id: u64,
 }
 
 /// The frontend's registry-backed instruments. Every gauge/counter
@@ -252,6 +257,23 @@ pub struct ConnectionStats {
 /// live results.
 static NEXT_FILE: AtomicU64 = AtomicU64::new(1);
 
+/// Boot-random node identity: an FNV mix of the wall clock, the pid,
+/// and the bound address. Not cryptographic — it only needs to differ
+/// between two boots of the same node with overwhelming probability,
+/// so a coordinator polling `/healthz` can detect a restart behind a
+/// stable address.
+fn boot_node_id(addr: SocketAddr) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    mudock_grids::Fnv64::new()
+        .write_u64(nanos)
+        .write_u64(std::process::id() as u64)
+        .write(addr.to_string().as_bytes())
+        .finish()
+}
+
 /// A running HTTP listener bound to a [`ScreenService`].
 pub struct NetServer {
     addr: SocketAddr,
@@ -281,6 +303,7 @@ impl NetServer {
             jobs: Mutex::new(HashMap::new()),
             cfg,
             metrics,
+            node_id: boot_node_id(local),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let loop_thread = {
@@ -299,6 +322,11 @@ impl NetServer {
     /// The bound address (resolves the port for `…:0` binds).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// This server's boot-random identity, as served in `/healthz`.
+    pub fn node_id(&self) -> u64 {
+        self.state.node_id
     }
 
     /// Connections shed with the canned `503` so far (kept under its
@@ -1074,7 +1102,17 @@ fn route(
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            json_response(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+            // Still a plain 200 for old clients that only check the
+            // status; the body now carries the boot-random node id (a
+            // restart behind the same address changes it) and version.
+            json_response(
+                200,
+                &Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("node".into(), Json::str(format!("{:016x}", state.node_id))),
+                    ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+                ]),
+            )
         }
         ("GET", ["stats"]) => {
             // One ordered snapshot feeds every connection field, so a
@@ -1150,6 +1188,7 @@ fn submit_job(body: Option<Result<Json, WireError>>, state: &Arc<NetState>) -> R
     let spec = JobSpec {
         receptor,
         ligands: sub.ligands,
+        slice: sub.slice,
         priority: sub.priority,
         jsonl: Some(results.clone()),
         ..JobSpec::from(sub.campaign)
@@ -1297,15 +1336,25 @@ fn cancel_job(job: &NetJob, id: JobId) -> Response {
 pub mod client {
     use super::*;
     use crate::ingest::LigandSource;
-    use crate::job::Priority;
+    use crate::job::{LigandSlice, Priority};
     use crate::wire::{JobStatus, ReceptorSource};
     use mudock_core::CampaignSpec;
     use std::io::{BufRead, BufReader};
 
     /// A client-side failure.
+    ///
+    /// Connect-refused and timeout are split out of the generic I/O
+    /// arm because a coordinator's dead-node detection treats them
+    /// differently: refused means nothing is listening (node down or
+    /// restarting — act now), a timeout means *something* answered the
+    /// handshake but stalled (overloaded or wedged — back off first).
     #[derive(Debug)]
     pub enum ClientError {
-        /// Connect/read/write failed.
+        /// Nothing is listening at the address.
+        ConnectRefused(std::io::Error),
+        /// A connect/read/write deadline expired.
+        Timeout(std::io::Error),
+        /// Any other connect/read/write failure.
         Io(std::io::Error),
         /// The server answered with a non-2xx status.
         Http { status: u16, body: String },
@@ -1316,6 +1365,8 @@ pub mod client {
     impl std::fmt::Display for ClientError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             match self {
+                ClientError::ConnectRefused(e) => write!(f, "connection failed (refused): {e}"),
+                ClientError::Timeout(e) => write!(f, "connection failed (timed out): {e}"),
                 ClientError::Io(e) => write!(f, "connection failed: {e}"),
                 ClientError::Http { status, body } => {
                     // Surface the server's JSON error message when present.
@@ -1337,7 +1388,15 @@ pub mod client {
 
     impl From<std::io::Error> for ClientError {
         fn from(e: std::io::Error) -> Self {
-            ClientError::Io(e)
+            use std::io::ErrorKind;
+            match e.kind() {
+                ErrorKind::ConnectionRefused => ClientError::ConnectRefused(e),
+                // Blocking sockets with SO_RCVTIMEO/SO_SNDTIMEO report
+                // an expired deadline as WouldBlock on Unix (TimedOut
+                // on Windows) — both are "the peer stalled".
+                ErrorKind::TimedOut | ErrorKind::WouldBlock => ClientError::Timeout(e),
+                _ => ClientError::Io(e),
+            }
         }
     }
 
@@ -1422,7 +1481,10 @@ pub mod client {
                     if reused {
                         // Stale keep-alive connection (server idle
                         // timeout won the race): retry once, fresh.
-                        if let ClientError::Io(_) = e {
+                        // Timeouts retry too — the old socket may have
+                        // died under us; refused never does, a fresh
+                        // connect would have failed identically.
+                        if let ClientError::Io(_) | ClientError::Timeout(_) = e {
                             let mut fresh = Self::connect(&self.addr)?;
                             let (resp, keep) =
                                 Self::exchange(&mut fresh, &self.addr, method, path, body)?;
@@ -1514,7 +1576,25 @@ pub mod client {
             ligands: &LigandSource,
             priority: Priority,
         ) -> Result<JobId, ClientError> {
-            let body = wire::submission_to_json(campaign, receptor, ligands, priority)?.encode();
+            self.submit_sliced(campaign, receptor, ligands, None, priority)
+        }
+
+        /// [`Client::submit`] with an optional sub-job window — the
+        /// coordinator's scatter path. The server docks only
+        /// `slice.take` ligands starting at global index `slice.skip`,
+        /// seeding each by its global index, so the window's results
+        /// are bit-identical to the same ligands of an unsliced run.
+        pub fn submit_sliced(
+            &mut self,
+            campaign: &CampaignSpec,
+            receptor: &ReceptorSource,
+            ligands: &LigandSource,
+            slice: Option<LigandSlice>,
+            priority: Priority,
+        ) -> Result<JobId, ClientError> {
+            let body =
+                wire::sliced_submission_to_json(campaign, receptor, ligands, slice, priority)?
+                    .encode();
             let resp = self.request("POST", "/jobs", Some(&body))?.ok()?;
             let v = wire::parse(&resp.body)?;
             match v.get("id") {
@@ -1561,6 +1641,31 @@ pub mod client {
         pub fn healthy(&mut self) -> bool {
             matches!(self.request("GET", "/healthz", None), Ok(r) if r.status == 200)
         }
+
+        /// `GET /healthz`, decoded. Tolerates pre-node-id servers: a
+        /// plain `200` with no recognizable body still reports healthy,
+        /// just without an identity.
+        pub fn health(&mut self) -> Result<NodeHealth, ClientError> {
+            let resp = self.request("GET", "/healthz", None)?.ok()?;
+            let v = wire::parse(&resp.body).unwrap_or(Json::Null);
+            let node = match v.get("node") {
+                Some(Json::Str(s)) => u64::from_str_radix(s, 16).ok(),
+                _ => None,
+            };
+            let version = match v.get("version") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            };
+            Ok(NodeHealth { node, version })
+        }
+    }
+
+    /// A decoded `/healthz` body: the node's boot-random identity and
+    /// crate version (both `None` when talking to an old server).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct NodeHealth {
+        pub node: Option<u64>,
+        pub version: Option<String>,
     }
 
     /// One-shot request against `addr` (e.g. `"127.0.0.1:7979"`).

@@ -329,6 +329,11 @@ fn job_fingerprint(spec: &JobSpec, dims: GridDims) -> u64 {
         .write_u64(spec.campaign.seed)
         .write_u64(spec.campaign.top_k as u64)
         .write(spec.campaign.backend.resolve().name().as_bytes());
+    // A sliced sub-job checkpoints a different window of the stream than
+    // the whole job (or a differently-sliced one) — never mix them.
+    if let Some(s) = spec.slice {
+        h.write_u64(s.skip as u64).write_u64(s.take as u64);
+    }
     h.finish()
 }
 
@@ -462,7 +467,7 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
         None => None,
     };
 
-    let mut stream = match spec.ligands.stream() {
+    let stream = match spec.ligands.stream() {
         Ok(s) => s,
         Err(e) => {
             finish(
@@ -476,6 +481,14 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
             return;
         }
     };
+    // A cluster sub-job docks one window of the stream but keeps global
+    // ligand indices: seeds and ranked indices are offset by the skip,
+    // so the window scores bit-identically to the same ligands in an
+    // unsliced run.
+    let mut stream: Box<dyn Iterator<Item = Molecule> + Send> = match spec.slice {
+        Some(s) => Box::new(stream.skip(s.skip).take(s.take)),
+        None => stream,
+    };
 
     let mut sizer = spec.campaign.chunk_sizer();
     let mut stop_check = StopCheck::new();
@@ -484,8 +497,9 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
     // Global index of the next ligand — *cumulative*, never derived from
     // the chunk index: chunk sizes may vary (adaptive policy, or a
     // resume under a different policy than the checkpoint was written
-    // with), but per-ligand seeds must not.
-    let mut offset = 0usize;
+    // with), but per-ligand seeds must not. A sliced sub-job starts at
+    // its window's global position.
+    let mut offset = spec.slice.map_or(0usize, |s| s.skip);
     let mut evaluations = 0u64;
     let mut state = JobState::Completed;
     let mut stopped_early = false;

@@ -97,7 +97,7 @@ use mudock_obs::{GridSource, StageTimings};
 use mudock_simd::SimdLevel;
 
 use crate::ingest::LigandSource;
-use crate::job::{JobId, JobOutcome, JobState, Priority, RankedLigand};
+use crate::job::{JobId, JobOutcome, JobState, LigandSlice, Priority, RankedLigand};
 use crate::server::ServiceStats;
 use crate::sink::json_escape;
 
@@ -1469,6 +1469,10 @@ pub struct Submission {
     pub campaign: CampaignSpec,
     pub receptor: ReceptorSource,
     pub ligands: LigandSource,
+    /// Optional sub-job window: dock only `take` ligands starting at
+    /// global index `skip`. Set by a cluster coordinator fanning one
+    /// campaign out; absent for whole-stream submissions.
+    pub slice: Option<LigandSlice>,
     pub priority: Priority,
 }
 
@@ -1496,10 +1500,26 @@ pub fn submission_from_json(v: &Json) -> Result<Submission, WireError> {
         Some(s) => priority_parse(s)
             .ok_or_else(|| WireError::invalid("priority", format!("unknown priority '{s}'")))?,
     };
+    let slice = match v.get("slice") {
+        None | Some(Json::Null) => None,
+        Some(s) => {
+            let skip = get_usize(s, "skip")?.ok_or(WireError::Missing {
+                field: "slice.skip",
+            })?;
+            let take = get_usize(s, "take")?.ok_or(WireError::Missing {
+                field: "slice.take",
+            })?;
+            if take == 0 {
+                return Err(WireError::invalid("slice.take", "must be positive"));
+            }
+            Some(LigandSlice { skip, take })
+        }
+    };
     Ok(Submission {
         campaign,
         receptor,
         ligands,
+        slice,
         priority,
     })
 }
@@ -1512,12 +1532,34 @@ pub fn submission_to_json(
     ligands: &LigandSource,
     priority: Priority,
 ) -> Result<Json, WireError> {
-    Ok(Json::Obj(vec![
+    sliced_submission_to_json(campaign, receptor, ligands, None, priority)
+}
+
+/// [`submission_to_json`] plus an optional sub-job window (`slice`) —
+/// the coordinator side of cluster scatter.
+pub fn sliced_submission_to_json(
+    campaign: &CampaignSpec,
+    receptor: &ReceptorSource,
+    ligands: &LigandSource,
+    slice: Option<LigandSlice>,
+    priority: Priority,
+) -> Result<Json, WireError> {
+    let mut members = vec![
         ("campaign".into(), campaign_to_json(campaign)),
         ("receptor".into(), receptor_to_json(receptor)),
         ("ligands".into(), ligands_to_json(ligands)?),
         ("priority".into(), Json::str(priority_name(priority))),
-    ]))
+    ];
+    if let Some(s) = slice {
+        members.push((
+            "slice".into(),
+            Json::Obj(vec![
+                ("skip".into(), Json::usize(s.skip)),
+                ("take".into(), Json::usize(s.take)),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(members))
 }
 
 /// Where a submission's receptor comes from (the wire-side mirror of

@@ -285,3 +285,62 @@ fn malformed_inputs_map_to_the_right_wire_errors() {
         assert_eq!(err.http_status(), status, "{body}: {err:?}");
     }
 }
+
+/// The scatter window (`slice`) must round-trip exactly, stay optional,
+/// and reject empty windows — a sub-job that docks nothing is always a
+/// coordinator bug, never a request worth accepting.
+#[test]
+fn submission_slices_round_trip_and_reject_empty_windows() {
+    use mudock_serve::ReceptorSource;
+    use mudock_serve::{LigandSlice, LigandSource, Priority};
+
+    let spec = Campaign::builder().name("sliced").build().unwrap();
+    let receptor = ReceptorSource::Synth {
+        seed: 1,
+        atoms: 30,
+        radius: 5.0,
+    };
+    let ligands = LigandSource::synth(9, 40);
+    for slice in [
+        None,
+        Some(LigandSlice::new(0, 40)),
+        Some(LigandSlice::new(13, 7)),
+        Some(LigandSlice::new(usize::MAX - 1, 1)),
+    ] {
+        let text =
+            wire::sliced_submission_to_json(&spec, &receptor, &ligands, slice, Priority::Normal)
+                .expect("encodes")
+                .encode();
+        let back = wire::submission_from_json(&wire::parse(&text).unwrap()).expect(&text);
+        assert_eq!(back.slice, slice, "wire text: {text}");
+    }
+
+    // take == 0 → Invalid → 400.
+    let empty = r#"{"campaign": {"name": "x"},
+        "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
+        "ligands": {"synth": {"count": 2}},
+        "slice": {"skip": 0, "take": 0}}"#;
+    let err = wire::parse(empty)
+        .and_then(|v| wire::submission_from_json(&v).map(|_| ()))
+        .expect_err("an empty window must be rejected");
+    assert!(matches!(err, WireError::Invalid { .. }), "{err:?}");
+    assert_eq!(err.http_status(), 400);
+
+    // A missing member of the slice object → Missing → 400.
+    let half = r#"{"campaign": {"name": "x"},
+        "receptor": {"synth": {"seed": 1, "atoms": 30, "radius": 5.0}},
+        "ligands": {"synth": {"count": 2}},
+        "slice": {"skip": 3}}"#;
+    let err = wire::parse(half)
+        .and_then(|v| wire::submission_from_json(&v).map(|_| ()))
+        .expect_err("a half-window must be rejected");
+    assert!(
+        matches!(
+            err,
+            WireError::Missing {
+                field: "slice.take"
+            }
+        ),
+        "{err:?}"
+    );
+}

@@ -10,6 +10,7 @@
 //! `examples/quickstart.rs` for the 30-second version.
 
 pub use mudock_archsim as archsim;
+pub use mudock_cluster as cluster;
 pub use mudock_core as core;
 pub use mudock_ff as ff;
 pub use mudock_grids as grids;
