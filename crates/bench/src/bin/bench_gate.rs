@@ -111,6 +111,25 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
+    // Same refusal for the frontend's event-loop count: the
+    // `net_concurrency` throughput and tail latency scale with how many
+    // loops share the listen port, so a 4-loop run gated against a
+    // 1-loop baseline compares nothing. Absent on either side (older
+    // baseline) skips the check, same as any missing metric.
+    match (
+        metric(&current, "event_loops"),
+        metric(&baseline, "event_loops"),
+    ) {
+        (Some(c), Some(b)) if c != b => {
+            eprintln!(
+                "bench_gate: current ran with {c} event loop(s) but the baseline with {b}; \
+                 the comparison would be meaningless (pass --event-loops {b} or \
+                 re-record the baseline)"
+            );
+            return ExitCode::from(2);
+        }
+        _ => {}
+    }
 
     // The union of gated paths across both files: both-present compares,
     // one-sided warns.

@@ -5,11 +5,12 @@
 //!
 //! ```text
 //! cargo run --release -p mudock-bench --bin net_churn \
-//!     [--conns N] [--header-s S]
+//!     [--conns N] [--header-s S] [--event-loops N]
 //! ```
 //!
 //! The smoke self-hosts a loopback server (header deadline shortened to
-//! `--header-s`, default 2 s), then concurrently:
+//! `--header-s`, default 2 s; `--event-loops` sizes the frontend pool,
+//! default 0 = auto like the server's own default), then concurrently:
 //!
 //! 1. opens `--conns` (default 200) keep-alive connections, each
 //!    verified with one served request, and leaves them idle;
@@ -20,8 +21,10 @@
 //!
 //! It exits non-zero unless: the slow client is deadlined (EOF within
 //! the header deadline plus slack) while the cycle runs, every idle
-//! connection still answers afterwards, and the server's gauges show
-//! zero shed connections (no spurious 503s) for the whole run.
+//! connection still answers afterwards, the server's gauges show zero
+//! shed connections (no spurious 503s) for the whole run, and the
+//! per-loop `{loop="i"}` connection/request series in `/metrics` sum
+//! exactly to their unlabelled totals.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -37,10 +40,29 @@ use mudock_serve::{
     ServeConfig,
 };
 
+/// Sum every `name{loop="i"}` sample and read the unlabelled `name`
+/// total from a Prometheus render.
+fn loop_sum_and_total(metrics: &str, name: &str) -> (i64, i64) {
+    let mut sum = 0i64;
+    let mut total = 0i64;
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                total = value.trim().parse::<f64>().expect("total sample") as i64;
+            } else if rest.starts_with("{loop=") {
+                let value = rest.rsplit(' ').next().unwrap();
+                sum += value.trim().parse::<f64>().expect("loop sample") as i64;
+            }
+        }
+    }
+    (sum, total)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut conns = 200usize;
     let mut header_s = 2u64;
+    let mut event_loops = 0usize; // 0 = auto, same as NetConfig::default()
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,8 +78,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--header-s needs seconds");
             }
+            "--event-loops" => {
+                event_loops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--event-loops needs a loop count");
+            }
             flag => {
-                eprintln!("net_churn: unknown argument '{flag}'\nusage: net_churn [--conns N] [--header-s S]");
+                eprintln!(
+                    "net_churn: unknown argument '{flag}'\n\
+                     usage: net_churn [--conns N] [--header-s S] [--event-loops N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -77,12 +108,25 @@ fn main() {
             results_dir: results_dir.clone(),
             max_connections: conns + 64,
             header_timeout: Duration::from_secs(header_s),
+            // The herd must sit idle for the whole smoke — at 10k
+            // connections the serial setup alone can outlive the
+            // default 60 s idle deadline.
+            idle_timeout: Duration::from_secs(600),
+            event_loops,
             ..NetConfig::default()
         },
     )
     .expect("loopback bind");
     let addr = server.local_addr().to_string();
-    eprintln!("net_churn: server on {addr}, {conns} idle conns, {header_s} s header deadline");
+    eprintln!(
+        "net_churn: server on {addr}, {conns} idle conns, {header_s} s header deadline, \
+         {} event loop(s)",
+        if event_loops == 0 {
+            mudock_serve::default_event_loops()
+        } else {
+            event_loops
+        }
+    );
 
     // 1. The idle herd: each connection proves itself with one request,
     // then sits silent for the rest of the smoke.
@@ -218,9 +262,23 @@ fn main() {
             "/metrics missing series {needle:?}"
         );
     }
+    // The per-loop labelled series must account for every connection
+    // and request the unlabelled totals claim — a loop whose counters
+    // leak (or double-count) shows up here as a sum/total mismatch.
+    for name in [
+        "mudock_connections_open",
+        "mudock_connections_accepted_total",
+        "mudock_requests_total",
+    ] {
+        let (sum, total) = loop_sum_and_total(&metrics, name);
+        assert_eq!(
+            sum, total,
+            "{name}: per-loop series sum to {sum} but the total reads {total}"
+        );
+    }
     eprintln!(
         "net_churn: PASS — herd of {conns} survived, {} requests served, 0 shed, \
-         /metrics consistent",
+         /metrics consistent (per-loop series sum to totals)",
         stats.requests
     );
 

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p mudock-bench --bin serve_throughput \
-//!     [ligands_per_job] [jobs] [--net] [--receptors N] [--concurrency C] [--cluster N]
+//!     [ligands_per_job] [jobs] [--net] [--receptors N] [--concurrency C] \
+//!     [--event-loops N] [--cluster N]
 //! ```
 //!
 //! Every gated datapoint is sampled the same way: one untimed warmup
@@ -35,6 +36,15 @@
 //! datapoint that guards the readiness-driven event loop: a frontend
 //! that degrades with open sockets (or stalls requests behind idle
 //! peers) fails here long before production traffic would find it.
+//! `--event-loops N` sizes the frontend's event-loop pool for that leg
+//! (default 1 — single-loop, so old baselines stay comparable); the
+//! count is recorded as a top-level `"event_loops"` field and
+//! `bench_gate` refuses to compare runs that disagree on it. Herds of
+//! ≥[`HERD_CHILD_CHUNK`] connections are held by spawned child
+//! processes (`--herd`, internal) so a 10k-connection run fits in one
+//! process's file-descriptor budget: the bench process keeps only the
+//! server-side sockets, each child owns a slice of the client ends and
+//! exits when the parent closes its stdin.
 //!
 //! With `--cluster N`, a federation leg runs the same socket workload
 //! against a coordinator fronting N loopback member nodes: every job is
@@ -63,6 +73,98 @@ use mudock_serve::{
 
 /// Minimum accumulated wall-clock per gated datapoint.
 const MIN_SAMPLE_S: f64 = 2.0;
+
+/// Idle-herd connections per child process. Herds at or above this size
+/// are split across children — two fds per connection (client end in
+/// the child, server end in the bench process) would otherwise put a
+/// 10k-connection herd over a typical 20k-fd rlimit in one process.
+const HERD_CHILD_CHUNK: usize = 2000;
+
+/// The idle keep-alive herd for the concurrency leg: held in-process
+/// when small, sliced across `--herd` child processes when large.
+/// Either way every connection has proven itself with one served
+/// request before `open` returns.
+struct Herd {
+    children: Vec<std::process::Child>,
+    local: Vec<client::Client>,
+}
+
+impl Herd {
+    fn open(addr: &str, conns: usize) -> Herd {
+        if conns < HERD_CHILD_CHUNK {
+            let mut local = Vec::with_capacity(conns);
+            for i in 0..conns {
+                let mut c = client::Client::new(addr);
+                assert!(c.healthy(), "idle connection {i} failed its first request");
+                local.push(c);
+            }
+            return Herd {
+                children: Vec::new(),
+                local,
+            };
+        }
+        let exe = std::env::current_exe().expect("current_exe for herd children");
+        let mut children = Vec::new();
+        let mut remaining = conns;
+        while remaining > 0 {
+            let slice = remaining.min(HERD_CHILD_CHUNK);
+            remaining -= slice;
+            let child = std::process::Command::new(&exe)
+                .arg("--herd")
+                .arg(addr)
+                .arg(slice.to_string())
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn herd child");
+            children.push(child);
+        }
+        // Each child prints `ready` once its whole slice is connected
+        // and healthy; only then is the herd fully registered with the
+        // reactor and the measurement allowed to start.
+        for (i, child) in children.iter_mut().enumerate() {
+            use std::io::BufRead;
+            let stdout = child.stdout.take().expect("herd child stdout");
+            let mut line = String::new();
+            std::io::BufReader::new(stdout)
+                .read_line(&mut line)
+                .expect("read herd child readiness");
+            assert_eq!(line.trim(), "ready", "herd child {i} failed to connect");
+        }
+        Herd {
+            children,
+            local: Vec::new(),
+        }
+    }
+
+    /// Release every connection: closing a child's stdin is its signal
+    /// to drop its slice and exit.
+    fn close(mut self) {
+        for child in &mut self.children {
+            drop(child.stdin.take());
+        }
+        for mut child in self.children {
+            let _ = child.wait();
+        }
+        drop(self.local);
+    }
+}
+
+/// Child-process mode (internal): hold `n` proven-healthy keep-alive
+/// connections against `addr` until stdin reaches EOF.
+fn herd_child(addr: &str, n: usize) -> ! {
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut c = client::Client::new(addr);
+        assert!(c.healthy(), "herd connection {i} failed its first request");
+        conns.push(c);
+    }
+    println!("ready");
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+    drop(conns);
+    std::process::exit(0);
+}
 
 fn bench_campaign(j: usize, dims: GridDims) -> CampaignSpec {
     Campaign::builder()
@@ -160,6 +262,7 @@ fn concurrency_leg(
     threads: usize,
     dims: GridDims,
     conns: usize,
+    event_loops: usize,
 ) -> (f64, f64, f64, f64) {
     let service = Arc::new(ScreenService::start(ServeConfig {
         total_threads: threads,
@@ -176,21 +279,18 @@ fn concurrency_leg(
             max_connections: conns + 64,
             // The idle herd must survive the whole leg.
             idle_timeout: Duration::from_secs(600),
+            event_loops,
             ..NetConfig::default()
         },
     )
     .expect("loopback bind");
     let addr = server.local_addr().to_string();
 
-    // Open the idle herd. One served request each guarantees the
-    // connection is fully registered with the reactor (not just sitting
-    // in the accept backlog) before the measurement starts.
-    let mut idle: Vec<client::Client> = Vec::with_capacity(conns);
-    for i in 0..conns {
-        let mut c = client::Client::new(&addr);
-        assert!(c.healthy(), "idle connection {i} failed its first request");
-        idle.push(c);
-    }
+    // Open the idle herd (child processes above HERD_CHILD_CHUNK). One
+    // served request each guarantees the connection is fully registered
+    // with the reactor (not just sitting in the accept backlog) before
+    // the measurement starts.
+    let idle = Herd::open(&addr, conns);
     let shed = server.connection_stats().shed;
     assert_eq!(shed, 0, "idle herd of {conns} was load-shed ({shed})");
 
@@ -244,7 +344,7 @@ fn concurrency_leg(
         "idle herd shrank: {} open < {conns}",
         stats.open
     );
-    drop(idle);
+    idle.close();
     drop(conn);
     server.shutdown();
     service.shutdown();
@@ -417,6 +517,7 @@ fn main() {
     let mut with_net = false;
     let mut receptors = 0usize;
     let mut concurrency = 0usize;
+    let mut event_loops = 1usize;
     let mut cluster = 0usize;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -435,11 +536,26 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--concurrency needs a connection count");
             }
+            "--event-loops" => {
+                event_loops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--event-loops needs a loop count");
+            }
             "--cluster" => {
                 cluster = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--cluster needs a member node count");
+            }
+            "--herd" => {
+                // Internal child mode: hold a slice of the idle herd.
+                let addr = it.next().expect("--herd needs an address");
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--herd needs a connection count");
+                herd_child(&addr, n);
             }
             // An unrecognized flag must fail loudly: silently treating
             // it as a positional would run (and baseline) a different
@@ -448,7 +564,7 @@ fn main() {
                 eprintln!(
                     "serve_throughput: unknown flag '{flag}'\n\
                      usage: serve_throughput [ligands_per_job] [jobs] [--net] \
-                     [--receptors N] [--concurrency C] [--cluster N]"
+                     [--receptors N] [--concurrency C] [--event-loops N] [--cluster N]"
                 );
                 std::process::exit(2);
             }
@@ -504,8 +620,8 @@ fn main() {
     let net = with_net.then(|| net_leg(n_ligands, jobs, threads, dims));
     // The reactor-under-load datapoint: throughput + p99 latency with a
     // herd of open keep-alive connections.
-    let conc =
-        (concurrency > 0).then(|| concurrency_leg(n_ligands, jobs, threads, dims, concurrency));
+    let conc = (concurrency > 0)
+        .then(|| concurrency_leg(n_ligands, jobs, threads, dims, concurrency, event_loops));
     // The multi-receptor datapoint: target churn through a capacity-1
     // cache with the spill tier on.
     let multi = (receptors > 0).then(|| multi_leg(n_ligands, receptors, threads));
@@ -516,12 +632,13 @@ fn main() {
     let mut json = format!(
         concat!(
             "{{\"bench\":\"serve_throughput\",\"jobs\":{},\"ligands_per_job\":{},",
-            "\"threads\":{},\"elapsed_s\":{:.4},\"ligands_per_sec\":{:.2},",
+            "\"threads\":{},\"event_loops\":{},\"elapsed_s\":{:.4},\"ligands_per_sec\":{:.2},",
             "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}"
         ),
         jobs,
         n_ligands,
         threads,
+        event_loops,
         elapsed,
         ligands_per_sec,
         stats.cache.hits,
@@ -546,8 +663,8 @@ fn main() {
             concurrency, conc_elapsed, conc_lps, p50_ms, p99_ms,
         ));
         eprintln!(
-            "concurrency path ({concurrency} open conns): {conc_lps:.1} ligands/s, \
-             p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms"
+            "concurrency path ({concurrency} open conns, {event_loops} event loop(s)): \
+             {conc_lps:.1} ligands/s, p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms"
         );
     }
     if let Some((multi_elapsed, multi_lps, spills, reloads)) = multi {

@@ -9,36 +9,27 @@
 //! are additive only: `/healthz` carries `"role":"coordinator"`, and
 //! `/stats` describes members instead of shards.
 //!
-//! Unlike the node's epoll reactor (`serve::net`), this frontend is a
-//! plain blocking thread-per-connection server. The coordinator's
-//! request rate is human-scale — submissions and polls, not dock
-//! chunks — so the readiness machinery would buy nothing here; what
-//! matters is that the *dialect* matches, and the simple server is
-//! easy to audit. Keep-alive with `Content-Length` framing is
-//! supported; idle connections are bounded by a read timeout.
+//! The transport *is* the node's: [`CoordinatorRoutes`] implements
+//! `serve::net`'s [`HttpRoutes`] and mounts on the same multi-loop
+//! readiness frontend ([`mudock_serve::FrontendBuilder`]) — event-loop
+//! pool, connection pinning, keep-alive, per-state and per-request
+//! deadlines, graceful `503` shedding, and the `mudock_connections_*`
+//! metric families all come along for free. Route handlers here never
+//! block the loops: submission fans out on a per-job gather thread, and
+//! status/results reads are lock-scoped lookups.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
 use mudock_grids::grid_cache_key;
 use mudock_serve::wire::{self, Json, WireError};
-use mudock_serve::{JobState, StageTimings};
+use mudock_serve::{HttpRoutes, JobState, Response, StageTimings};
 
 use crate::membership::Membership;
 use crate::metrics::ClusterMetrics;
 use crate::router::Router;
 use crate::scatter::{self, ClusterJob, GatherConfig};
 use crate::ClusterConfig;
-
-/// Largest accepted request body. Generous: inline ligand libraries
-/// ride through the coordinator on their way to members.
-const MAX_BODY: usize = 64 * 1024 * 1024;
-
-/// How long an idle keep-alive connection may sit before we close it.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Everything a request handler can reach.
 pub(crate) struct CoordinatorState {
@@ -50,7 +41,7 @@ pub(crate) struct CoordinatorState {
     pub next_id: AtomicU64,
     /// Boot-random coordinator identity (same scheme as a node's).
     pub node_id: u64,
-    /// Set at shutdown; gather loops and the accept loop watch it.
+    /// Set at shutdown; gather loops watch it.
     pub stop: Arc<AtomicBool>,
 }
 
@@ -65,187 +56,58 @@ impl CoordinatorState {
     }
 }
 
-/// Accept loop: one OS thread per connection. Returns when `stop` is
-/// raised. `listener` must already be non-blocking.
-pub(crate) fn serve(listener: TcpListener, state: Arc<CoordinatorState>) {
-    loop {
-        if state.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name("cluster-conn".into())
-                    .spawn(move || handle_conn(stream, state))
-                    .ok();
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
+/// The coordinator's [`HttpRoutes`] mount.
+pub(crate) struct CoordinatorRoutes(pub Arc<CoordinatorState>);
+
+impl HttpRoutes for CoordinatorRoutes {
+    fn wants_body(&self, method: &str, path: &str) -> bool {
+        let path = path.split('?').next().unwrap_or("");
+        method == "POST" && path.split('/').filter(|s| !s.is_empty()).eq(["jobs"])
     }
-}
 
-fn handle_conn(stream: TcpStream, state: Arc<CoordinatorState>) {
-    if stream.set_nonblocking(false).is_err() {
-        return; // inherited the listener's non-blocking flag
-    }
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IDLE_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    loop {
-        if state.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let mut request_line = String::new();
-        match reader.read_line(&mut request_line) {
-            Ok(0) => return, // peer closed
-            Ok(_) => {}
-            Err(_) => return, // idle timeout or broken pipe
-        }
-        let mut parts = request_line.split_whitespace();
-        let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-            return;
-        };
-        let (method, path) = (method.to_string(), path.to_string());
-
-        let mut content_length = 0usize;
-        let mut close = false;
-        loop {
-            let mut header = String::new();
-            let n = match reader.read_line(&mut header) {
-                Ok(n) => n,
-                Err(_) => return,
-            };
-            let header = header.trim_end();
-            if n == 0 || header.is_empty() {
-                break;
+    fn route(
+        &self,
+        method: &str,
+        raw_path: &str,
+        body: Option<Result<Json, WireError>>,
+    ) -> Response {
+        let state = &self.0;
+        let path = raw_path.split('?').next().unwrap_or(raw_path);
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("role".into(), Json::str("coordinator")),
+                    ("node".into(), Json::str(format!("{:016x}", state.node_id))),
+                    ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+                ]),
+            ),
+            ("GET", ["stats"]) => Response::json(200, &stats_json(state)),
+            ("GET", ["metrics"]) => Response::text(
+                200,
+                "text/plain; version=0.0.4",
+                state.metrics.registry.render_prometheus(),
+            ),
+            ("POST", ["jobs"]) => submit(body, state),
+            ("GET", ["jobs", id]) => {
+                with_job(state, id, |job| Response::json(200, &status_json(job)))
             }
-            if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().unwrap_or(0);
-                } else if name.eq_ignore_ascii_case("connection") {
-                    close = value.trim().eq_ignore_ascii_case("close");
-                }
+            ("GET", ["jobs", id, "results"]) => with_job(state, id, |job| {
+                Response::text(200, "application/jsonl", job.results())
+            }),
+            // Historical dialect quirk kept on purpose: the coordinator
+            // answers DELETE with 200 (the node answers 202).
+            ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
+                job.cancel();
+                Response::json(200, &status_json(job))
+            }),
+            (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
+                Response::error(405, format!("method {method} not allowed on {path}"))
             }
+            _ => Response::error(404, format!("no route for {path}")),
         }
-        if content_length > MAX_BODY {
-            let _ = write_response(
-                reader.get_mut(),
-                413,
-                "application/json",
-                &error_body(format!("body exceeds {MAX_BODY} bytes")),
-                true,
-            );
-            return;
-        }
-        let body = if content_length > 0 {
-            let mut buf = vec![0u8; content_length];
-            if reader.read_exact(&mut buf).is_err() {
-                return;
-            }
-            Some(String::from_utf8_lossy(&buf).into_owned())
-        } else {
-            None
-        };
-
-        let (status, ctype, body) = route(&method, &path, body.as_deref(), &state);
-        if write_response(reader.get_mut(), status, ctype, &body, close).is_err() {
-            return;
-        }
-        if close {
-            return;
-        }
-    }
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    ctype: &str,
-    body: &str,
-    close: bool,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        201 => "Created",
-        400 => "Bad Request",
-        403 => "Forbidden",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        422 => "Unprocessable Entity",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-fn error_body(message: impl Into<String>) -> String {
-    Json::Obj(vec![("error".into(), Json::str(message.into()))]).encode()
-}
-
-type Response = (u16, &'static str, String);
-
-fn json(status: u16, v: &Json) -> Response {
-    (status, "application/json", v.encode())
-}
-
-fn error(status: u16, message: impl Into<String>) -> Response {
-    (status, "application/json", error_body(message))
-}
-
-fn wire_error(e: &WireError) -> Response {
-    error(e.http_status(), e.to_string())
-}
-
-fn route(
-    method: &str,
-    raw_path: &str,
-    body: Option<&str>,
-    state: &Arc<CoordinatorState>,
-) -> Response {
-    let path = raw_path.split('?').next().unwrap_or(raw_path);
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => json(
-            200,
-            &Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("role".into(), Json::str("coordinator")),
-                ("node".into(), Json::str(format!("{:016x}", state.node_id))),
-                ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
-            ]),
-        ),
-        ("GET", ["stats"]) => json(200, &stats_json(state)),
-        ("GET", ["metrics"]) => (
-            200,
-            "text/plain; version=0.0.4",
-            state.metrics.registry.render_prometheus(),
-        ),
-        ("POST", ["jobs"]) => submit(body, state),
-        ("GET", ["jobs", id]) => with_job(state, id, |job| json(200, &status_json(job))),
-        ("GET", ["jobs", id, "results"]) => {
-            with_job(state, id, |job| (200, "application/jsonl", job.results()))
-        }
-        ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
-            job.cancel();
-            json(200, &status_json(job))
-        }),
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
-            error(405, format!("method {method} not allowed on {path}"))
-        }
-        _ => error(404, format!("no route for {path}")),
     }
 }
 
@@ -254,12 +116,14 @@ fn with_job(
     id: &str,
     f: impl FnOnce(&ClusterJob) -> Response,
 ) -> Response {
+    // Another kept quirk: a non-integer id is a 400 here, a 404 on the
+    // node.
     let Ok(id) = id.parse::<u64>() else {
-        return error(400, "job id must be an integer");
+        return Response::error(400, "job id must be an integer");
     };
     match state.job(id) {
         Some(job) => f(&job),
-        None => error(404, format!("no such job {id}")),
+        None => Response::error(404, format!("no such job {id}")),
     }
 }
 
@@ -329,22 +193,20 @@ fn stats_json(state: &Arc<CoordinatorState>) -> Json {
     ])
 }
 
-fn submit(body: Option<&str>, state: &Arc<CoordinatorState>) -> Response {
-    let Some(body) = body else {
-        return error(400, "POST /jobs requires a JSON body");
-    };
-    let parsed = match wire::parse(body) {
-        Ok(v) => v,
-        Err(e) => return wire_error(&e),
+fn submit(body: Option<Result<Json, WireError>>, state: &Arc<CoordinatorState>) -> Response {
+    let parsed = match body {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => return Response::wire_error(&e),
+        None => return Response::error(400, "POST /jobs requires a JSON body"),
     };
     let sub = match wire::submission_from_json(&parsed) {
         Ok(s) => s,
-        Err(e) => return wire_error(&e),
+        Err(e) => return Response::wire_error(&e),
     };
     // Same trust posture as a node: a path source would make *members*
     // read coordinator-named files; forward only when opted in.
     if !state.cfg.allow_path_sources && sub.uses_path_sources() {
-        return error(
+        return Response::error(
             403,
             "server-side 'path' sources are disabled on this coordinator; \
              ship the PDBQT text inline instead",
@@ -356,14 +218,14 @@ fn submit(body: Option<&str>, state: &Arc<CoordinatorState>) -> Response {
     // *source* (not the parsed molecule) is what gets forwarded.
     let receptor = match sub.load_receptor() {
         Ok(r) => r,
-        Err(e) => return wire_error(&e),
+        Err(e) => return Response::wire_error(&e),
     };
     let fingerprint = grid_cache_key(&receptor, &sub.campaign.dims_for(&receptor));
     drop(receptor);
 
     let alive = state.membership.alive();
     if alive.is_empty() {
-        return error(503, "no cluster members are alive");
+        return Response::error(503, "no cluster members are alive");
     }
     // Scatter only whole-stream submissions with a known length; a
     // pre-sliced submission (another coordinator upstream?) passes
@@ -428,7 +290,7 @@ fn submit(body: Option<&str>, state: &Arc<CoordinatorState>) -> Response {
         })
         .ok();
 
-    json(
+    Response::json(
         201,
         &Json::Obj(vec![
             ("id".into(), Json::u64(id)),
@@ -442,7 +304,7 @@ fn submit(body: Option<&str>, state: &Arc<CoordinatorState>) -> Response {
 }
 
 /// Boot-random coordinator identity, same recipe as the node frontend.
-pub(crate) fn boot_node_id(addr: SocketAddr) -> u64 {
+pub(crate) fn boot_node_id(addr: std::net::SocketAddr) -> u64 {
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)

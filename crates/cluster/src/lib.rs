@@ -22,7 +22,9 @@
 //!   round-robin tiebreak;
 //! * [`scatter`] — per-job gather loop: dispatch, poll, re-dispatch
 //!   unfinished windows off dead members, merge;
-//! * `http` (private) — the thread-per-connection frontend;
+//! * `http` (private) — the coordinator's routes, mounted on
+//!   `serve::net`'s multi-loop readiness frontend (same event-loop
+//!   pool, connection pinning, and `--event-loops` knob as a node);
 //! * [`metrics`] — the `mudock_cluster_*` instrument families served
 //!   at `GET /metrics`.
 //!
@@ -51,13 +53,13 @@ pub mod scatter;
 
 mod http;
 
-use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mudock_obs::Registry;
+use mudock_serve::net::{FrontendBuilder, HttpFrontend, NetConfig};
 
 pub use membership::{Member, MemberSnapshot, MemberState, Membership};
 pub use metrics::ClusterMetrics;
@@ -88,6 +90,10 @@ pub struct ClusterConfig {
     pub allow_path_sources: bool,
     /// Terminal cluster jobs retained for late status/results reads.
     pub max_retained_jobs: usize,
+    /// Event-loop threads for the frontend, exactly as
+    /// [`mudock_serve::NetConfig::event_loops`]: `0` means
+    /// auto (one per core, capped at 4).
+    pub event_loops: usize,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +108,7 @@ impl Default for ClusterConfig {
             max_attempts: 4,
             allow_path_sources: false,
             max_retained_jobs: 64,
+            event_loops: 0,
         }
     }
 }
@@ -112,6 +119,7 @@ impl Default for ClusterConfig {
 pub struct Coordinator {
     addr: std::net::SocketAddr,
     state: Arc<http::CoordinatorState>,
+    frontend: HttpFrontend,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -120,9 +128,20 @@ impl Coordinator {
     /// Bind the frontend and start probing members. `listen` may use
     /// port 0; see [`Coordinator::local_addr`] for the resolved socket.
     pub fn bind(listen: &str, cfg: ClusterConfig) -> std::io::Result<Coordinator> {
-        let listener = TcpListener::bind(listen)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        // The node's multi-loop readiness frontend, with
+        // coordinator-shaped limits: bodies are generous (inline ligand
+        // libraries ride through on their way to members), idle
+        // keep-alive connections are bounded tighter than a node's.
+        let builder = FrontendBuilder::bind(
+            listen,
+            NetConfig {
+                max_body_bytes: 64 << 20,
+                idle_timeout: Duration::from_secs(30),
+                event_loops: cfg.event_loops,
+                ..NetConfig::default()
+            },
+        )?;
+        let addr = builder.local_addr();
 
         let registry = Registry::new();
         let metrics = Arc::new(ClusterMetrics::register(&registry));
@@ -143,16 +162,12 @@ impl Coordinator {
             node_id: http::boot_node_id(addr),
             stop: Arc::clone(&stop),
         });
+        let frontend = builder.start(
+            Arc::new(http::CoordinatorRoutes(Arc::clone(&state))),
+            &registry,
+        )?;
 
         let mut threads = Vec::new();
-        {
-            let state = Arc::clone(&state);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("cluster-accept".into())
-                    .spawn(move || http::serve(listener, state))?,
-            );
-        }
         {
             let stop = Arc::clone(&stop);
             let interval = cfg.health_interval;
@@ -179,6 +194,7 @@ impl Coordinator {
         Ok(Coordinator {
             addr,
             state,
+            frontend,
             stop,
             threads,
         })
@@ -205,6 +221,7 @@ impl Coordinator {
     /// there; the coordinator stops tracking them.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.frontend.shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

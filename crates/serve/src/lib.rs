@@ -39,13 +39,20 @@
 //! dependency-free readiness-driven HTTP/1.1 server (`POST /jobs`,
 //! `GET /jobs/{id}`, `GET /jobs/{id}/results`, `DELETE /jobs/{id}`,
 //! `GET /healthz`, `GET /stats`) speaking the hand-rolled JSON
-//! [`wire`] codec. A single event-loop thread multiplexes every
-//! connection over an epoll [`reactor`] ([`reactor::Reactor`]), with
-//! keep-alive and pipelining, per-state deadlines that evict slow and
-//! idle peers, incremental body parsing through the resumable
-//! [`wire::PushParser`], and the same bounded-backpressure discipline
-//! at the socket edge (a capped connection count that sheds overload
-//! with `503` instead of unbounded buffering). A matching keep-alive
+//! [`wire`] codec. A pool of event-loop threads
+//! ([`NetConfig::event_loops`]) multiplexes the connections, each loop
+//! owning its own [`reactor`] ([`reactor::Reactor`] — epoll on Linux,
+//! kqueue on mac/BSD, `poll(2)` elsewhere) and connection table, with
+//! connections pinned to one loop for life (per-loop `SO_REUSEPORT`
+//! listeners on Linux, an accept-thread round-robin handoff elsewhere),
+//! keep-alive and pipelining, per-state plus per-request deadlines that
+//! evict slow, idle, and wedged peers, incremental body parsing through
+//! the resumable [`wire::PushParser`], and the same
+//! bounded-backpressure discipline at the socket edge (a capped
+//! connection count that sheds overload with `503` instead of unbounded
+//! buffering). The HTTP machinery is route-agnostic
+//! ([`net::HttpRoutes`] mounted on a [`net::HttpFrontend`]) — the
+//! cluster coordinator reuses it wholesale. A matching keep-alive
 //! client lives in [`net::client`].
 //!
 //! Jobs are described by the campaign API: a
@@ -109,7 +116,10 @@ pub use job::{
     ProgressFn, RankedLigand,
 };
 pub use mudock_obs::{GridSource, Registry, StageTimings};
-pub use net::{NetConfig, NetServer};
+pub use net::{
+    default_event_loops, Body, FrontendBuilder, HttpFrontend, HttpRoutes, NetConfig, NetServer,
+    Response,
+};
 pub use queue::SubmitError;
 pub use server::{default_dims, ScreenService, ServeConfig, ServiceStats};
 pub use shard::ShardStat;

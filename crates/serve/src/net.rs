@@ -16,10 +16,18 @@
 //!
 //! ## Connection model
 //!
-//! One event-loop thread drives every connection through a
-//! [`reactor`](crate::reactor) (epoll on Linux, `poll` elsewhere):
+//! A pool of [`NetConfig::event_loops`] event-loop threads (default:
+//! one per core, capped at four) drives the connections, each loop
+//! owning its *own* [`reactor`](crate::reactor) (epoll on Linux,
+//! kqueue on mac/BSD, `poll` elsewhere) and its own connection table:
 //! non-blocking accept, read, and write, with a per-connection state
-//! machine (idle → header → body → write). Connections are HTTP/1.1
+//! machine (idle → header → body → write). A connection is **pinned to
+//! one loop for life** — on Linux each loop accepts from its own
+//! `SO_REUSEPORT` listener and the kernel's flow hash spreads new
+//! connections; elsewhere a dedicated accept thread deals connections
+//! round-robin into per-loop inboxes. Either way the state machines
+//! stay single-threaded and lock-free; only the connection-count cap
+//! and the metric atomics are shared. Connections are HTTP/1.1
 //! **keep-alive** by default and requests may be **pipelined**: each
 //! completed request is answered in order, and any bytes already
 //! buffered behind it are processed immediately. Request bodies are
@@ -29,14 +37,24 @@
 //!
 //! Slow and dead peers are bounded by per-state deadlines
 //! ([`NetConfig::idle_timeout`], [`NetConfig::header_timeout`],
-//! [`NetConfig::body_timeout`], [`NetConfig::write_timeout`]): a
-//! slow-loris client dripping header bytes is closed at the header
-//! deadline while thousands of idle keep-alive connections cost only
-//! their sockets. Beyond [`NetConfig::max_connections`] the server
-//! sheds load gracefully — accept, answer a canned `503`, close —
-//! instead of letting the kernel backlog time clients out, and job
-//! submission uses [`ScreenService::try_submit`] so a full queue is a
-//! `503` the client retries rather than a wedged executor.
+//! [`NetConfig::body_timeout`], [`NetConfig::write_timeout`]) plus one
+//! end-to-end bound per request ([`NetConfig::request_timeout`], first
+//! header byte → response flushed — the backstop for a response stuck
+//! behind a slow downstream while the peer keeps the per-phase clocks
+//! fresh): a slow-loris client dripping header bytes is closed at the
+//! header deadline while thousands of idle keep-alive connections cost
+//! only their sockets. Beyond [`NetConfig::max_connections`] — an
+//! *exact* cap shared across every loop — the server sheds load
+//! gracefully: accept, answer a canned `503`, close — instead of
+//! letting the kernel backlog time clients out, and job submission
+//! uses [`ScreenService::try_submit`] so a full queue is a `503` the
+//! client retries rather than a wedged executor.
+//!
+//! The frontend machinery is route-agnostic: [`HttpFrontend`] mounts
+//! any [`HttpRoutes`] implementation. [`NetServer`] is the screening
+//! node's mount; the cluster coordinator mounts its own routes on the
+//! same loops, so both tiers share one connection model and metrics
+//! surface.
 //!
 //! Error mapping: malformed HTTP or JSON → `400`, unknown job → `404`,
 //! wrong method → `405`, oversized body → `413`, campaign validation
@@ -51,11 +69,12 @@
 //! across requests, so poll loops stop paying a handshake per poll.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -104,6 +123,18 @@ pub struct NetConfig {
     pub body_timeout: Duration,
     /// From response-queued until it is fully flushed.
     pub write_timeout: Duration,
+    /// End-to-end bound per request: first header byte until the
+    /// response is fully flushed. The per-phase deadlines above each
+    /// reset as a connection changes state; this one does not, so a
+    /// response stuck behind a slow downstream (a job poll that never
+    /// resolves, say) on a connection whose peer keeps the per-phase
+    /// clocks fresh is still bounded.
+    pub request_timeout: Duration,
+    /// Event-loop threads sharing the listen address. Each loop owns
+    /// its own reactor and connection table and a connection is pinned
+    /// to one loop for life, so per-connection state needs no locking.
+    /// `0` means [`default_event_loops`] (one per core, capped at 4).
+    pub event_loops: usize,
 }
 
 impl Default for NetConfig {
@@ -118,8 +149,21 @@ impl Default for NetConfig {
             header_timeout: Duration::from_secs(10),
             body_timeout: Duration::from_secs(60),
             write_timeout: Duration::from_secs(60),
+            request_timeout: Duration::from_secs(300),
+            event_loops: 0,
         }
     }
+}
+
+/// The default event-loop count: one per core, capped at four. Both
+/// accept paths (REUSEPORT flow hashing, round-robin handoff) spread
+/// connections well past four loops, but the dock executors want the
+/// remaining cores more than the frontend does.
+pub fn default_event_loops() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
 }
 
 /// One submitted job as the frontend tracks it.
@@ -129,10 +173,17 @@ struct NetJob {
     results: PathBuf,
 }
 
-struct NetState {
+/// The screening node's routes: the job CRUD + health + stats API over
+/// a [`ScreenService`], mounted on the generic frontend by
+/// [`NetServer::bind`].
+struct NodeRoutes {
     service: Arc<ScreenService>,
     jobs: Mutex<HashMap<JobId, NetJob>>,
     cfg: NetConfig,
+    /// The same registry-backed atomics the frontend updates —
+    /// [`Registry`] hands out one instrument per (name, labels), so
+    /// registering here again just shares the handles and `/stats` can
+    /// read them without any plumbing from the event loops.
     metrics: NetMetrics,
     /// Random-at-boot identity served in `/healthz`. A coordinator that
     /// sees the id change behind a stable address knows the node
@@ -238,6 +289,47 @@ impl NetMetrics {
     }
 }
 
+/// Per-loop slices of the connection instruments, labelled
+/// `{loop="N"}` under the same metric names as the unlabelled totals.
+/// Updated alongside the totals at the same sites, so at quiescence
+/// the labelled series sum to the totals — the invariant the CI
+/// net-scale smoke asserts.
+struct LoopMetrics {
+    open: Arc<Gauge>,
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    requests: Arc<Counter>,
+}
+
+impl LoopMetrics {
+    fn register(registry: &Registry, index: usize) -> LoopMetrics {
+        let i = index.to_string();
+        let labels: &[(&str, &str)] = &[("loop", i.as_str())];
+        LoopMetrics {
+            open: registry.gauge(
+                "mudock_connections_open",
+                labels,
+                "Connections currently registered with the reactor",
+            ),
+            accepted: registry.counter(
+                "mudock_connections_accepted_total",
+                labels,
+                "Connections accepted since bind (shed ones included)",
+            ),
+            shed: registry.counter(
+                "mudock_connections_shed_total",
+                labels,
+                "Connections answered the canned 503 at the connection cap",
+            ),
+            requests: registry.counter(
+                "mudock_requests_total",
+                labels,
+                "Requests dispatched to a route",
+            ),
+        }
+    }
+}
+
 /// Connection-level counters, as served under `"connections"` in
 /// `GET /stats` and readable in-process for tests and benches.
 #[derive(Clone, Copy, Debug)]
@@ -274,91 +366,491 @@ fn boot_node_id(addr: SocketAddr) -> u64 {
         .finish()
 }
 
+/// A request router the multi-loop frontend can mount. The node's job
+/// API ([`NetServer`]) and the cluster coordinator both implement it,
+/// so the two tiers share one connection model, reactor pool, and
+/// metrics surface.
+///
+/// `route` runs on an event-loop thread: it must not block on slow
+/// work. Submissions go through non-blocking `try_submit`-style paths
+/// and large payloads stream from disk via [`Body::File`].
+pub trait HttpRoutes: Send + Sync + 'static {
+    /// Whether `method path` carries a JSON body worth parsing
+    /// incrementally as it streams in. Bodies of other requests are
+    /// drained for framing and discarded.
+    fn wants_body(&self, method: &str, path: &str) -> bool;
+
+    /// Dispatch one parsed request. `body` is `Some` only when
+    /// [`HttpRoutes::wants_body`] said yes — `Err` when the body bytes
+    /// were not valid JSON (the HTTP framing was still intact, so the
+    /// connection survives).
+    fn route(&self, method: &str, path: &str, body: Option<Result<Json, WireError>>) -> Response;
+}
+
+/// State shared by every event loop of one frontend.
+struct FrontendShared {
+    routes: Arc<dyn HttpRoutes>,
+    cfg: NetConfig,
+    metrics: NetMetrics,
+    /// Exact open-connection count across all loops, for the
+    /// [`NetConfig::max_connections`] cap. A per-loop split of the cap
+    /// would be cheaper but wrong: REUSEPORT's flow hash has enough
+    /// variance at 10k connections that one loop would breach its
+    /// share while the others sit under theirs.
+    open_conns: AtomicUsize,
+}
+
+/// How a loop is fed new connections.
+enum LoopFeed {
+    /// The loop owns a listener outright: the single-loop case, or one
+    /// of the per-loop `SO_REUSEPORT` listeners on Linux.
+    Listener(TcpListener),
+    /// A dedicated accept thread deals connections round-robin into
+    /// per-loop inboxes — the portable fallback.
+    Inbox(Arc<Handoff>),
+}
+
+/// One loop's inbox for the accept-thread fallback, plus the write end
+/// of that loop's waker (one byte per handoff so the loop leaves its
+/// reactor wait promptly).
+struct Handoff {
+    inbox: Mutex<VecDeque<TcpStream>>,
+    waker: UnixStream,
+}
+
+enum AcceptPlan {
+    PerLoop(Vec<TcpListener>),
+    Handoff(TcpListener),
+}
+
+/// Phase one of bringing up a frontend: sockets bound, address
+/// resolved, nothing running yet. The two-phase shape exists because
+/// routers (the node's own, the coordinator's) want the resolved
+/// address (for the boot node id) before the loops start routing to
+/// them.
+pub struct FrontendBuilder {
+    addr: SocketAddr,
+    cfg: NetConfig,
+    plan: AcceptPlan,
+}
+
+impl FrontendBuilder {
+    /// Bind the listen socket(s) for `cfg.event_loops` loops. With more
+    /// than one loop this tries per-loop `SO_REUSEPORT` listeners
+    /// (Linux); anywhere that fails, one blocking listener plus an
+    /// accept thread takes over. `addr` may name port 0; the resolved
+    /// port is shared by every sibling listener.
+    pub fn bind(addr: impl ToSocketAddrs, mut cfg: NetConfig) -> io::Result<FrontendBuilder> {
+        if cfg.event_loops == 0 {
+            cfg.event_loops = default_event_loops();
+        }
+        let want = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to bind"))?;
+        let plan = if cfg.event_loops == 1 {
+            let listener = TcpListener::bind(want)?;
+            listener.set_nonblocking(true)?;
+            AcceptPlan::PerLoop(vec![listener])
+        } else {
+            match Self::bind_per_loop(want, cfg.event_loops) {
+                Ok(listeners) => AcceptPlan::PerLoop(listeners),
+                Err(_) => AcceptPlan::Handoff(TcpListener::bind(want)?),
+            }
+        };
+        let local = match &plan {
+            AcceptPlan::PerLoop(listeners) => listeners[0].local_addr()?,
+            AcceptPlan::Handoff(listener) => listener.local_addr()?,
+        };
+        Ok(FrontendBuilder {
+            addr: local,
+            cfg,
+            plan,
+        })
+    }
+
+    #[cfg(target_os = "linux")]
+    fn bind_per_loop(addr: SocketAddr, n: usize) -> io::Result<Vec<TcpListener>> {
+        let first = reuseport::bind_reuseport(addr)?;
+        // `addr` may have named port 0; siblings must bind the port the
+        // kernel actually picked.
+        let resolved = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..n {
+            listeners.push(reuseport::bind_reuseport(resolved)?);
+        }
+        Ok(listeners)
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn bind_per_loop(_addr: SocketAddr, _n: usize) -> io::Result<Vec<TcpListener>> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "per-loop SO_REUSEPORT listeners are Linux-only",
+        ))
+    }
+
+    /// The bound address (resolved, if `bind` was given port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Phase two: register metrics in `registry`, spawn the loops (and
+    /// the accept thread, in handoff mode), and start serving `routes`.
+    pub fn start(
+        self,
+        routes: Arc<dyn HttpRoutes>,
+        registry: &Registry,
+    ) -> io::Result<HttpFrontend> {
+        let n = self.cfg.event_loops;
+        let shared = Arc::new(FrontendShared {
+            routes,
+            cfg: self.cfg,
+            metrics: NetMetrics::register(registry),
+            open_conns: AtomicUsize::new(0),
+        });
+
+        // Every loop gets a waker pair regardless of accept mode, so
+        // shutdown (and handoff delivery) never waits out a reactor
+        // timeout.
+        let mut wakers = Vec::with_capacity(n);
+        let mut waker_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            wakers.push(tx);
+            waker_rxs.push(rx);
+        }
+
+        let (feeds, accept) = match self.plan {
+            AcceptPlan::PerLoop(listeners) => (
+                listeners
+                    .into_iter()
+                    .map(LoopFeed::Listener)
+                    .collect::<Vec<_>>(),
+                None,
+            ),
+            AcceptPlan::Handoff(listener) => {
+                let handoffs = wakers
+                    .iter()
+                    .map(|tx| {
+                        Ok(Arc::new(Handoff {
+                            inbox: Mutex::new(VecDeque::new()),
+                            waker: tx.try_clone()?,
+                        }))
+                    })
+                    .collect::<io::Result<Vec<_>>>()?;
+                let feeds = handoffs
+                    .iter()
+                    .map(|h| LoopFeed::Inbox(Arc::clone(h)))
+                    .collect();
+                (feeds, Some((listener, handoffs)))
+            }
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handoff = accept.is_some();
+        let mut threads = Vec::with_capacity(n + 1);
+        for (i, (feed, waker_rx)) in feeds.into_iter().zip(waker_rxs).enumerate() {
+            let reactor = Reactor::new()?;
+            let ctx = LoopCtx {
+                shared: Arc::clone(&shared),
+                lm: LoopMetrics::register(registry, i),
+            };
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("net-loop-{i}"))
+                    .spawn(move || event_loop(feed, waker_rx, reactor, &ctx, &stop))?,
+            );
+        }
+        if let Some((listener, handoffs)) = accept {
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("net-accept".into())
+                    .spawn(move || accept_thread(&listener, &handoffs, &stop))?,
+            );
+        }
+
+        Ok(HttpFrontend {
+            addr: self.addr,
+            shared,
+            stop,
+            wakers,
+            threads,
+            handoff,
+        })
+    }
+}
+
+/// A running multi-loop HTTP frontend serving an [`HttpRoutes`]
+/// router. [`NetServer`] wraps one for the screening node; the cluster
+/// coordinator mounts its own routes on the same machinery.
+pub struct HttpFrontend {
+    addr: SocketAddr,
+    shared: Arc<FrontendShared>,
+    stop: Arc<AtomicBool>,
+    wakers: Vec<UnixStream>,
+    threads: Vec<JoinHandle<()>>,
+    handoff: bool,
+}
+
+impl HttpFrontend {
+    /// The bound address (resolves the port for `…:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connection gauges as of now, aggregated across loops.
+    pub fn connection_stats(&self) -> ConnectionStats {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop every loop (and the accept thread) and join them; open
+    /// connections are dropped. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for tx in &self.wakers {
+            let _ = (&mut &*tx).write(&[1]);
+        }
+        if self.handoff {
+            // Unblock the accept thread with one last connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpFrontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The portable accept path: a blocking accept loop dealing
+/// connections round-robin into per-loop inboxes, waking each loop's
+/// reactor as it delivers.
+fn accept_thread(listener: &TcpListener, loops: &[Arc<Handoff>], stop: &AtomicBool) {
+    let mut next = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let handoff = &loops[next % loops.len()];
+                next = next.wrapping_add(1);
+                handoff.inbox.lock().unwrap().push_back(stream);
+                let _ = (&mut &handoff.waker).write(&[1]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (ECONNABORTED, fd exhaustion):
+            // back off briefly instead of spinning.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// `SO_REUSEPORT` listener sockets via direct FFI — `std` exposes no
+/// pre-bind socket options, and the whole point is setting the option
+/// *before* `bind(2)`. Linux-only: the kernel's REUSEPORT flow hash is
+/// what spreads connections across the per-loop listeners.
+#[cfg(target_os = "linux")]
+pub(crate) mod reuseport {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::fd::{FromRawFd, OwnedFd};
+    use std::os::raw::{c_int, c_void};
+
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOCK_NONBLOCK: c_int = 0o4000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    const IPPROTO_IPV6: c_int = 41;
+    const IPV6_V6ONLY: c_int = 26;
+
+    /// `struct sockaddr_in`; `port` and `addr` in network byte order.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6`.
+    #[repr(C)]
+    struct SockAddrIn6 {
+        family: u16,
+        port: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    fn opt(fd: c_int, level: c_int, name: c_int, value: c_int) -> io::Result<()> {
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                level,
+                name,
+                &value as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Bind a non-blocking `SO_REUSEPORT` listener on `addr`. Several
+    /// listeners bound this way to one port each receive a
+    /// kernel-hashed share of incoming connections.
+    pub(crate) fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // Owns the fd from here: every early return closes it.
+        let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+        opt(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+        opt(fd, SOL_SOCKET, SO_REUSEPORT, 1)?;
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockAddrIn {
+                    family: AF_INET as u16,
+                    port: v4.port().to_be(),
+                    addr: v4.ip().octets(),
+                    zero: [0; 8],
+                };
+                unsafe {
+                    bind(
+                        fd,
+                        &sa as *const SockAddrIn as *const c_void,
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(v6) => {
+                opt(fd, IPPROTO_IPV6, IPV6_V6ONLY, 1)?;
+                let sa = SockAddrIn6 {
+                    family: AF_INET6 as u16,
+                    port: v6.port().to_be(),
+                    flowinfo: v6.flowinfo().to_be(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                unsafe {
+                    bind(
+                        fd,
+                        &sa as *const SockAddrIn6 as *const c_void,
+                        std::mem::size_of::<SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if unsafe { listen(fd, 1024) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(TcpListener::from(owned))
+    }
+}
+
 /// A running HTTP listener bound to a [`ScreenService`].
 pub struct NetServer {
-    addr: SocketAddr,
-    state: Arc<NetState>,
-    stop: Arc<AtomicBool>,
-    loop_thread: Option<JoinHandle<()>>,
+    frontend: HttpFrontend,
+    node_id: u64,
+    shed: Arc<Counter>,
 }
 
 impl NetServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start the event-loop thread. The service is shared —
-    /// in-process submissions keep working alongside network ones.
+    /// start the event-loop pool. The service is shared — in-process
+    /// submissions keep working alongside network ones.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<ScreenService>,
         cfg: NetConfig,
     ) -> std::io::Result<NetServer> {
         std::fs::create_dir_all(&cfg.results_dir)?;
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let mut reactor = Reactor::new()?;
-        reactor.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
-        let metrics = NetMetrics::register(&service.registry());
-        let state = Arc::new(NetState {
+        let registry = service.registry();
+        let builder = FrontendBuilder::bind(addr, cfg.clone())?;
+        let node_id = boot_node_id(builder.local_addr());
+        let metrics = NetMetrics::register(&registry);
+        let shed = Arc::clone(&metrics.shed);
+        let routes = Arc::new(NodeRoutes {
             service,
             jobs: Mutex::new(HashMap::new()),
             cfg,
             metrics,
-            node_id: boot_node_id(local),
+            node_id,
         });
-        let stop = Arc::new(AtomicBool::new(false));
-        let loop_thread = {
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || event_loop(listener, reactor, &state, &stop))
-        };
+        let frontend = builder.start(routes, &registry)?;
         Ok(NetServer {
-            addr: local,
-            state,
-            stop,
-            loop_thread: Some(loop_thread),
+            frontend,
+            node_id,
+            shed,
         })
     }
 
     /// The bound address (resolves the port for `…:0` binds).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.frontend.local_addr()
     }
 
     /// This server's boot-random identity, as served in `/healthz`.
     pub fn node_id(&self) -> u64 {
-        self.state.node_id
+        self.node_id
     }
 
     /// Connections shed with the canned `503` so far (kept under its
     /// historical name; equals [`ConnectionStats::shed`]).
     pub fn rejected_connections(&self) -> u64 {
-        self.state.metrics.shed.get()
+        self.shed.get()
     }
 
     /// Connection gauges as of now.
     pub fn connection_stats(&self) -> ConnectionStats {
-        self.state.metrics.snapshot()
+        self.frontend.connection_stats()
     }
 
-    /// Stop the event loop and join it; every open connection is
+    /// Stop the event loops and join them; every open connection is
     /// dropped. The underlying [`ScreenService`] is left running (it
     /// may have in-process users); shut it down separately.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the reactor with one last connection to ourselves.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.loop_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for NetServer {
-    fn drop(&mut self) {
-        self.shutdown();
+        self.frontend.shutdown();
     }
 }
 
@@ -367,6 +859,12 @@ impl Drop for NetServer {
 // ---------------------------------------------------------------------------
 
 const LISTENER: Token = Token(0);
+/// The read end of the loop's waker pair: poked by [`HttpFrontend::shutdown`]
+/// and, in handoff mode, by the accept thread when it delivers into the
+/// loop's inbox.
+const WAKER: Token = Token(1);
+/// Connection tokens start above the reserved ones.
+const FIRST_CONN_TOKEN: usize = 2;
 
 /// One request/header line. Long enough for any payload this API
 /// carries; short enough that a line-free byte stream cannot grow a
@@ -449,7 +947,9 @@ struct Conn {
     interest: Interest,
     /// Header-first-byte stamps of requests awaiting a flushed
     /// response, oldest first (pipelining keeps several in flight).
-    req_starts: VecDeque<u64>,
+    /// The `u64` is the wall-clock ns for the latency histogram; the
+    /// `Instant` anchors the request-level deadline.
+    req_starts: VecDeque<(u64, Instant)>,
 }
 
 impl Conn {
@@ -464,6 +964,18 @@ impl Conn {
             .sum::<usize>()
             .saturating_sub(self.front_off)
     }
+
+    /// The nearest of the phase deadline and the oldest unanswered
+    /// request's end-to-end bound. The phase deadlines reset as the
+    /// connection changes state; the request bound does not, so a
+    /// response wedged behind a slow route cannot be kept alive forever
+    /// by a peer that keeps the phase clocks fresh.
+    fn effective_deadline(&self, request_timeout: Duration) -> Instant {
+        match self.req_starts.front() {
+            Some(&(_, started)) => self.deadline.min(started + request_timeout),
+            None => self.deadline,
+        }
+    }
 }
 
 /// What to do with a connection after handling an event.
@@ -473,25 +985,74 @@ enum Action {
     Close,
 }
 
+/// Everything one event loop needs: the frontend-wide shared state
+/// plus this loop's labelled metric slice.
+struct LoopCtx {
+    shared: Arc<FrontendShared>,
+    lm: LoopMetrics,
+}
+
 fn event_loop(
-    listener: TcpListener,
+    feed: LoopFeed,
+    waker_rx: UnixStream,
     mut reactor: Reactor,
-    state: &Arc<NetState>,
+    ctx: &LoopCtx,
     stop: &AtomicBool,
 ) {
     let mut conns: HashMap<usize, Conn> = HashMap::new();
-    let mut next_token = 1usize;
+    let mut next_token = FIRST_CONN_TOKEN;
     let mut events: Vec<Event> = Vec::new();
+    if let LoopFeed::Listener(listener) = &feed {
+        if reactor
+            .register(listener.as_raw_fd(), LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+    }
+    if reactor
+        .register(waker_rx.as_raw_fd(), WAKER, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let request_timeout = ctx.shared.cfg.request_timeout;
+    let metrics = &ctx.shared.metrics;
+    // Cache of the earliest effective deadline across the table; `None`
+    // forces a rescan. This keeps a wakeup's work proportional to the
+    // events it carries, not the table it guards: a deadline only moves
+    // for a connection an event touched (folded below as they are
+    // handled), so the O(connections) expiry sweep runs when the cached
+    // deadline actually comes due — never as a per-request tax on a
+    // 10k-connection herd. The cache may run early (a closed or
+    // re-phased connection can leave a stale earlier value); the cost
+    // is one spurious sweep, never a missed eviction.
+    let mut next_deadline: Option<Instant> = None;
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let now = Instant::now();
+        // Deadlines: a connection past its phase deadline (or its
+        // oldest request's end-to-end bound) is closed — that is the
+        // slow-loris/dead-peer/wedged-response bound.
+        if next_deadline.is_none_or(|d| now >= d) {
+            let expired: Vec<usize> = conns
+                .iter()
+                .filter(|(_, c)| now >= c.effective_deadline(request_timeout))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                close_conn(&mut reactor, &mut conns, id, ctx);
+            }
+            next_deadline = conns
+                .values()
+                .map(|c| c.effective_deadline(request_timeout))
+                .min();
+        }
         // Sleep until the nearest deadline (capped for robustness).
-        let timeout = conns
-            .values()
-            .map(|c| c.deadline.saturating_duration_since(now))
-            .min()
+        let timeout = next_deadline
+            .map(|d| d.saturating_duration_since(now))
             .unwrap_or(Duration::from_secs(1))
             .min(Duration::from_secs(1));
         let wait_t0 = now_ns();
@@ -500,17 +1061,28 @@ fn event_loop(
             Err(_) => break, // reactor fd gone — unrecoverable
         };
         let wake_ns = now_ns();
-        state
-            .metrics
+        metrics
             .reactor_wait
             .record_ns(wake_ns.saturating_sub(wait_t0));
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let now = Instant::now();
+        let mut adopted_any = false;
         for &ev in &events {
             if ev.token == LISTENER {
-                accept_all(&listener, &mut reactor, &mut conns, &mut next_token, state);
+                if let LoopFeed::Listener(listener) = &feed {
+                    accept_all(listener, &mut reactor, &mut conns, &mut next_token, ctx);
+                    adopted_any = true;
+                }
+                continue;
+            }
+            if ev.token == WAKER {
+                drain_waker(&waker_rx);
+                if let LoopFeed::Inbox(handoff) = &feed {
+                    drain_inbox(handoff, &mut reactor, &mut conns, &mut next_token, ctx);
+                    adopted_any = true;
+                }
                 continue;
             }
             let Some(conn) = conns.get_mut(&ev.token.0) else {
@@ -518,70 +1090,78 @@ fn event_loop(
             };
             let mut action = Action::Keep;
             if ev.readable || ev.hangup {
-                action = do_read(conn, state, now);
+                action = do_read(conn, ctx, now);
             }
             if action == Action::Keep && (ev.writable || !conn.out.is_empty()) {
-                action = do_write(conn, now, state);
+                action = do_write(conn, now, ctx);
             }
             if action == Action::Close {
-                close_conn(&mut reactor, &mut conns, ev.token.0, state);
+                close_conn(&mut reactor, &mut conns, ev.token.0, ctx);
+            } else if let Some(conn) = conns.get_mut(&ev.token.0) {
+                // Re-arm interest for the connection this event
+                // touched: read unless output backpressure says pause,
+                // write only while output is queued. Untouched
+                // connections kept their interest — no table scan.
+                let want = Interest {
+                    readable: conn.pending_out() <= MAX_PENDING_OUT,
+                    writable: !conn.out.is_empty(),
+                };
+                if want != conn.interest
+                    && reactor
+                        .modify(conn.stream.as_raw_fd(), conn.token, want)
+                        .is_ok()
+                {
+                    conn.interest = want;
+                }
+                // Fold the (possibly now earlier) deadline into the
+                // cache — a fresh request start binds it to
+                // `request_timeout` even under a lazier phase deadline.
+                let d = conn.effective_deadline(request_timeout);
+                next_deadline = Some(next_deadline.map_or(d, |nd| nd.min(d)));
             }
         }
-        // Deadlines: a connection past its phase deadline is closed —
-        // that is the slow-loris/dead-peer bound.
-        let expired: Vec<usize> = conns
-            .iter()
-            .filter(|(_, c)| now >= c.deadline)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
-            close_conn(&mut reactor, &mut conns, id, state);
-        }
-        // Re-arm interest: read unless output backpressure says pause,
-        // write only while output is queued.
-        for conn in conns.values_mut() {
-            let want = Interest {
-                readable: conn.pending_out() <= MAX_PENDING_OUT,
-                writable: !conn.out.is_empty(),
-            };
-            if want != conn.interest
-                && reactor
-                    .modify(conn.stream.as_raw_fd(), conn.token, want)
-                    .is_ok()
-            {
-                conn.interest = want;
-            }
+        if adopted_any {
+            // Freshly adopted connections start at `now + idle_timeout`;
+            // folding that bound keeps the cache exact without a rescan.
+            let d = now + ctx.shared.cfg.idle_timeout;
+            next_deadline = Some(next_deadline.map_or(d, |nd| nd.min(d)));
         }
         // Empty wakeups are pure timer ticks; folding them in would
         // drown the dispatch/iteration histograms in near-zeros.
         if n_events > 0 {
             let done = now_ns();
-            state
-                .metrics
+            metrics
                 .reactor_dispatch
                 .record_ns(done.saturating_sub(wake_ns));
-            state
-                .metrics
+            metrics
                 .reactor_iteration
                 .record_ns(done.saturating_sub(wait_t0));
         }
     }
+    // Per-connection teardown, not `open.set(0)`: sibling loops are
+    // still counting in the same gauge.
     for (_, conn) in conns.drain() {
         let _ = reactor.deregister(conn.stream.as_raw_fd());
+        ctx.shared.metrics.open.sub(1);
+        ctx.lm.open.sub(1);
+        ctx.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
     }
-    state.metrics.open.set(0);
 }
 
-fn close_conn(
-    reactor: &mut Reactor,
-    conns: &mut HashMap<usize, Conn>,
-    id: usize,
-    state: &NetState,
-) {
+fn close_conn(reactor: &mut Reactor, conns: &mut HashMap<usize, Conn>, id: usize, ctx: &LoopCtx) {
     if let Some(conn) = conns.remove(&id) {
         let _ = reactor.deregister(conn.stream.as_raw_fd());
-        state.metrics.open.sub(1);
+        ctx.shared.metrics.open.sub(1);
+        ctx.lm.open.sub(1);
+        ctx.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
     }
+}
+
+/// Swallow whatever bytes are queued on the waker pair; each byte was
+/// only ever a "wake up and look around" signal.
+fn drain_waker(rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    while matches!((&mut &*rx).read(&mut buf), Ok(n) if n > 0) {}
 }
 
 fn accept_all(
@@ -589,7 +1169,7 @@ fn accept_all(
     reactor: &mut Reactor,
     conns: &mut HashMap<usize, Conn>,
     next_token: &mut usize,
-    state: &Arc<NetState>,
+    ctx: &LoopCtx,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -600,43 +1180,85 @@ fn accept_all(
             // readiness event retries; never spin.
             Err(_) => return,
         };
-        state.metrics.accepted.inc();
-        if conns.len() >= state.cfg.max_connections.max(1) {
-            // Graceful shedding: the overload answer reaches the
-            // client instead of a backlog timeout.
-            state.metrics.shed.inc();
-            shed_503(stream);
-            continue;
-        }
-        if stream.set_nonblocking(true).is_err() {
-            continue;
-        }
-        let _ = stream.set_nodelay(true);
-        let token = Token(*next_token);
-        *next_token += 1;
-        if reactor
-            .register(stream.as_raw_fd(), token, Interest::READ)
-            .is_err()
-        {
-            continue;
-        }
-        state.metrics.open.add(1);
-        conns.insert(
-            token.0,
-            Conn {
-                stream,
-                token,
-                buf: Vec::new(),
-                phase: Phase::Idle,
-                deadline: Instant::now() + state.cfg.idle_timeout,
-                out: VecDeque::new(),
-                front_off: 0,
-                close_after_flush: false,
-                interest: Interest::READ,
-                req_starts: VecDeque::new(),
-            },
-        );
+        adopt(stream, reactor, conns, next_token, ctx);
     }
+}
+
+/// Move every stream the accept thread queued into this loop's
+/// connection table.
+fn drain_inbox(
+    handoff: &Handoff,
+    reactor: &mut Reactor,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    ctx: &LoopCtx,
+) {
+    loop {
+        let Some(stream) = handoff.inbox.lock().unwrap().pop_front() else {
+            return;
+        };
+        adopt(stream, reactor, conns, next_token, ctx);
+    }
+}
+
+/// Pin a freshly accepted connection to this loop: count it against
+/// the frontend-wide cap, register it, insert it. From here on only
+/// this loop ever touches it.
+fn adopt(
+    stream: TcpStream,
+    reactor: &mut Reactor,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    ctx: &LoopCtx,
+) {
+    ctx.shared.metrics.accepted.inc();
+    ctx.lm.accepted.inc();
+    // The cap is exact and frontend-wide: reserve a slot first, give it
+    // back on any failure path. (A per-loop split would be cheaper but
+    // REUSEPORT's flow hash is uneven enough at 10k connections that
+    // one loop would breach its share early.)
+    let cap = ctx.shared.cfg.max_connections.max(1);
+    let prev = ctx.shared.open_conns.fetch_add(1, Ordering::AcqRel);
+    if prev >= cap {
+        ctx.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+        // Graceful shedding: the overload answer reaches the client
+        // instead of a backlog timeout.
+        ctx.shared.metrics.shed.inc();
+        ctx.lm.shed.inc();
+        shed_503(stream);
+        return;
+    }
+    if stream.set_nonblocking(true).is_err() {
+        ctx.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let token = Token(*next_token);
+    *next_token += 1;
+    if reactor
+        .register(stream.as_raw_fd(), token, Interest::READ)
+        .is_err()
+    {
+        ctx.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    ctx.shared.metrics.open.add(1);
+    ctx.lm.open.add(1);
+    conns.insert(
+        token.0,
+        Conn {
+            stream,
+            token,
+            buf: Vec::new(),
+            phase: Phase::Idle,
+            deadline: Instant::now() + ctx.shared.cfg.idle_timeout,
+            out: VecDeque::new(),
+            front_off: 0,
+            close_after_flush: false,
+            interest: Interest::READ,
+            req_starts: VecDeque::new(),
+        },
+    );
 }
 
 /// Best-effort canned `503` at the connection cap: one non-blocking
@@ -661,7 +1283,7 @@ fn shed_503(stream: TcpStream) {
 
 /// Drain the socket into the connection buffer and run the request
 /// state machine over whatever arrived.
-fn do_read(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
+fn do_read(conn: &mut Conn, ctx: &LoopCtx, now: Instant) -> Action {
     let mut tmp = [0u8; 16 << 10];
     loop {
         // Backpressure: stop pulling bytes while responses are backed
@@ -683,7 +1305,7 @@ fn do_read(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
                     continue;
                 }
                 conn.buf.extend_from_slice(&tmp[..n]);
-                if process_input(conn, state, now) == Action::Close {
+                if process_input(conn, ctx, now) == Action::Close {
                     return Action::Close;
                 }
             }
@@ -696,24 +1318,25 @@ fn do_read(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
 
 /// Advance the request state machine over `conn.buf`. Loops so that
 /// pipelined requests already buffered are answered back-to-back.
-fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action {
+fn process_input(conn: &mut Conn, ctx: &LoopCtx, now: Instant) -> Action {
     loop {
         match &mut conn.phase {
             Phase::Idle => {
                 if conn.buf.is_empty() {
                     return Action::Keep;
                 }
-                // Request latency starts at the header's first byte.
-                conn.req_starts.push_back(now_ns());
+                // Request latency (and the request-level deadline)
+                // starts at the header's first byte.
+                conn.req_starts.push_back((now_ns(), now));
                 conn.phase = Phase::Header;
-                conn.deadline = now + state.cfg.header_timeout;
+                conn.deadline = now + ctx.shared.cfg.header_timeout;
             }
             Phase::Header => {
                 let Some(head_len) = find_head_end(&conn.buf) else {
                     if conn.buf.len() > MAX_HEAD_BYTES {
                         return refuse(
                             conn,
-                            state,
+                            ctx,
                             now,
                             400,
                             format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
@@ -724,25 +1347,22 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                 let head_bytes: Vec<u8> = conn.buf.drain(..head_len).collect();
                 let head = match parse_head(&head_bytes) {
                     Ok(h) => h,
-                    Err((status, msg)) => return refuse(conn, state, now, status, msg),
+                    Err((status, msg)) => return refuse(conn, ctx, now, status, msg),
                 };
-                if head.content_length > state.cfg.max_body_bytes {
+                if head.content_length > ctx.shared.cfg.max_body_bytes {
                     return refuse(
                         conn,
-                        state,
+                        ctx,
                         now,
                         413,
                         format!(
                             "body of {} bytes exceeds the {}-byte limit",
-                            head.content_length, state.cfg.max_body_bytes
+                            head.content_length, ctx.shared.cfg.max_body_bytes
                         ),
                     );
                 }
-                let parse_body = {
-                    let path = head.path.split('?').next().unwrap_or("");
-                    head.method == "POST" && path.split('/').filter(|s| !s.is_empty()).eq(["jobs"])
-                };
-                conn.deadline = now + state.cfg.body_timeout;
+                let parse_body = ctx.shared.routes.wants_body(&head.method, &head.path);
+                conn.deadline = now + ctx.shared.cfg.body_timeout;
                 conn.phase = Phase::Body {
                     remaining: head.content_length,
                     parser: parse_body.then(|| Box::new(PushParser::new())),
@@ -789,16 +1409,17 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                     None => p.finish(),
                 });
                 if let Some(Err(WireError::Syntax { .. })) = &body {
-                    state.metrics.parse_errors.inc();
+                    ctx.shared.metrics.parse_errors.inc();
                 }
                 // Panic isolation: a panicking route must cost one
                 // response, never the whole event loop.
                 let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(&head.method, &head.path, body, state)
+                    ctx.shared.routes.route(&head.method, &head.path, body)
                 }))
-                .unwrap_or_else(|_| error_response(500, "internal error"));
-                state.metrics.requests.inc();
-                queue_response(conn, response, head.keep_alive, now, state);
+                .unwrap_or_else(|_| Response::error(500, "internal error"));
+                ctx.shared.metrics.requests.inc();
+                ctx.lm.requests.inc();
+                queue_response(conn, response, head.keep_alive, now, ctx);
                 if conn.close_after_flush {
                     conn.buf.clear();
                     conn.phase = Phase::Lingering {
@@ -809,7 +1430,12 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
                 // Keep-alive: loop — pipelined bytes may already hold
                 // the next request.
                 if conn.buf.is_empty() {
-                    conn.deadline = now + state.cfg.idle_timeout.max(state.cfg.write_timeout);
+                    conn.deadline = now
+                        + ctx
+                            .shared
+                            .cfg
+                            .idle_timeout
+                            .max(ctx.shared.cfg.write_timeout);
                     return Action::Keep;
                 }
             }
@@ -827,15 +1453,9 @@ fn process_input(conn: &mut Conn, state: &Arc<NetState>, now: Instant) -> Action
 
 /// Queue a protocol-level refusal and mark the connection close-bound
 /// (its framing can no longer be trusted).
-fn refuse(
-    conn: &mut Conn,
-    state: &Arc<NetState>,
-    now: Instant,
-    status: u16,
-    message: String,
-) -> Action {
-    state.metrics.parse_errors.inc();
-    queue_response(conn, error_response(status, message), false, now, state);
+fn refuse(conn: &mut Conn, ctx: &LoopCtx, now: Instant, status: u16, message: String) -> Action {
+    ctx.shared.metrics.parse_errors.inc();
+    queue_response(conn, Response::error(status, message), false, now, ctx);
     conn.buf.clear();
     conn.phase = Phase::Lingering {
         budget: DRAIN_BUDGET,
@@ -931,11 +1551,16 @@ fn parse_head(head: &[u8]) -> Result<RequestHead, (u16, String)> {
 /// the common case never waits for a writability event).
 fn queue_response(
     conn: &mut Conn,
-    (status, content_type, body): Response,
+    response: Response,
     keep_alive: bool,
     now: Instant,
-    state: &Arc<NetState>,
+    ctx: &LoopCtx,
 ) {
+    let Response {
+        status,
+        content_type,
+        body,
+    } = response;
     let len = match &body {
         Body::Text(t) => t.len() as u64,
         Body::File(_, len) => *len,
@@ -953,20 +1578,20 @@ fn queue_response(
             conn.out.push_back(OutItem::File { file, remaining });
             conn.out.push_back(OutItem::Mark);
             conn.close_after_flush |= !keep_alive;
-            conn.deadline = now + state.cfg.write_timeout;
-            let _ = do_write(conn, now, state);
+            conn.deadline = now + ctx.shared.cfg.write_timeout;
+            let _ = do_write(conn, now, ctx);
             return;
         }
     }
     conn.out.push_back(OutItem::Bytes(first));
     conn.out.push_back(OutItem::Mark);
     conn.close_after_flush |= !keep_alive;
-    conn.deadline = now + state.cfg.write_timeout;
-    let _ = do_write(conn, now, state);
+    conn.deadline = now + ctx.shared.cfg.write_timeout;
+    let _ = do_write(conn, now, ctx);
 }
 
 /// Push queued output to the socket until it blocks or drains.
-fn do_write(conn: &mut Conn, now: Instant, state: &Arc<NetState>) -> Action {
+fn do_write(conn: &mut Conn, now: Instant, ctx: &LoopCtx) -> Action {
     loop {
         let Some(front) = conn.out.front_mut() else {
             // Fully flushed.
@@ -1027,8 +1652,8 @@ fn do_write(conn: &mut Conn, now: Instant, state: &Arc<NetState>) -> Action {
                 // Everything queued for this response hit the socket:
                 // the oldest in-flight request is answered.
                 conn.out.pop_front();
-                if let Some(t0) = conn.req_starts.pop_front() {
-                    state
+                if let Some((t0, _)) = conn.req_starts.pop_front() {
+                    ctx.shared
                         .metrics
                         .request_seconds
                         .record_ns(now_ns().saturating_sub(t0));
@@ -1060,9 +1685,9 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// A response body: in-memory JSON, or a file streamed straight from
+/// A response body: in-memory text, or a file streamed straight from
 /// disk (results can be large — they must not be buffered whole).
-enum Body {
+pub enum Body {
     Text(String),
     /// The file plus the length to advertise; the copy is capped at
     /// that length so a sink appending mid-response cannot overrun the
@@ -1070,163 +1695,213 @@ enum Body {
     File(std::fs::File, u64),
 }
 
-type Response = (u16, &'static str, Body);
-
-fn json_response(status: u16, v: &Json) -> Response {
-    (status, "application/json", Body::Text(v.encode()))
+/// One HTTP response as an [`HttpRoutes`] router produces it.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Body,
 }
 
-fn error_response(status: u16, message: impl Into<String>) -> Response {
-    json_response(
-        status,
-        &Json::Obj(vec![("error".into(), Json::str(message.into()))]),
-    )
-}
-
-fn wire_error_response(e: &WireError) -> Response {
-    json_response(
-        e.http_status(),
-        &Json::Obj(vec![("error".into(), Json::str(e.to_string()))]),
-    )
-}
-
-/// Dispatch one parsed request. `body` is `Some` only for routes that
-/// take JSON (it was parsed incrementally while the bytes arrived).
-fn route(
-    method: &str,
-    raw_path: &str,
-    body: Option<Result<Json, WireError>>,
-    state: &Arc<NetState>,
-) -> Response {
-    let path = raw_path.split('?').next().unwrap_or("");
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => {
-            // Still a plain 200 for old clients that only check the
-            // status; the body now carries the boot-random node id (a
-            // restart behind the same address changes it) and version.
-            json_response(
-                200,
-                &Json::Obj(vec![
-                    ("ok".into(), Json::Bool(true)),
-                    ("node".into(), Json::str(format!("{:016x}", state.node_id))),
-                    ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
-                ]),
-            )
+impl Response {
+    /// A JSON body with the given status.
+    pub fn json(status: u16, v: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: Body::Text(v.encode()),
         }
-        ("GET", ["stats"]) => {
-            // One ordered snapshot feeds every connection field, so a
-            // scrape can never see `open > accepted` torn views.
-            let conns = state.metrics.snapshot();
-            let mut v = wire::stats_to_json(&state.service.stats());
-            if let Json::Obj(members) = &mut v {
-                members.push(("rejected_connections".into(), Json::u64(conns.shed)));
-                members.push((
-                    "queue_capacity".into(),
-                    Json::usize(state.service.queue_capacity()),
-                ));
-                members.push((
-                    "connections".into(),
-                    Json::Obj(vec![
-                        ("open".into(), Json::u64(conns.open)),
-                        ("accepted".into(), Json::u64(conns.accepted)),
-                        ("shed".into(), Json::u64(conns.shed)),
-                        ("parse_errors".into(), Json::u64(conns.parse_errors)),
-                        ("requests".into(), Json::u64(conns.requests)),
+    }
+
+    /// The standard `{"error": …}` envelope.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Json::Obj(vec![("error".into(), Json::str(message.into()))]),
+        )
+    }
+
+    /// A [`WireError`] mapped to its HTTP status.
+    pub fn wire_error(e: &WireError) -> Response {
+        Response::error(e.http_status(), e.to_string())
+    }
+
+    /// An arbitrary body under an explicit content type.
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
+            body: Body::Text(body),
+        }
+    }
+}
+
+impl HttpRoutes for NodeRoutes {
+    fn wants_body(&self, method: &str, path: &str) -> bool {
+        let path = path.split('?').next().unwrap_or("");
+        method == "POST" && path.split('/').filter(|s| !s.is_empty()).eq(["jobs"])
+    }
+
+    fn route(
+        &self,
+        method: &str,
+        raw_path: &str,
+        body: Option<Result<Json, WireError>>,
+    ) -> Response {
+        let path = raw_path.split('?').next().unwrap_or("");
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => {
+                // Still a plain 200 for old clients that only check the
+                // status; the body now carries the boot-random node id (a
+                // restart behind the same address changes it) and version.
+                Response::json(
+                    200,
+                    &Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("node".into(), Json::str(format!("{:016x}", self.node_id))),
+                        ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
                     ]),
-                ));
+                )
             }
-            json_response(200, &v)
+            ("GET", ["stats"]) => {
+                // One ordered snapshot feeds every connection field, so a
+                // scrape can never see `open > accepted` torn views.
+                let conns = self.metrics.snapshot();
+                let mut v = wire::stats_to_json(&self.service.stats());
+                if let Json::Obj(members) = &mut v {
+                    members.push(("rejected_connections".into(), Json::u64(conns.shed)));
+                    members.push((
+                        "queue_capacity".into(),
+                        Json::usize(self.service.queue_capacity()),
+                    ));
+                    members.push((
+                        "connections".into(),
+                        Json::Obj(vec![
+                            ("open".into(), Json::u64(conns.open)),
+                            ("accepted".into(), Json::u64(conns.accepted)),
+                            ("shed".into(), Json::u64(conns.shed)),
+                            ("parse_errors".into(), Json::u64(conns.parse_errors)),
+                            ("requests".into(), Json::u64(conns.requests)),
+                        ]),
+                    ));
+                }
+                Response::json(200, &v)
+            }
+            ("GET", ["metrics"]) => {
+                // Prometheus text exposition, rendered from the same
+                // registry `/stats` reads — one source of truth.
+                Response::text(
+                    200,
+                    "text/plain; version=0.0.4",
+                    self.metrics.registry.render_prometheus(),
+                )
+            }
+            ("POST", ["jobs"]) => self.submit_job(body),
+            ("GET", ["jobs", id]) => self.with_job(id, job_status),
+            ("GET", ["jobs", id, "results"]) => self.with_job(id, job_results),
+            ("DELETE", ["jobs", id]) => self.with_job(id, cancel_job),
+            (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
+                Response::error(405, format!("method {method} not allowed on {path}"))
+            }
+            _ => Response::error(404, format!("no route for {path}")),
         }
-        ("GET", ["metrics"]) => {
-            // Prometheus text exposition, rendered from the same
-            // registry `/stats` reads — one source of truth.
-            (
-                200,
-                "text/plain; version=0.0.4",
-                Body::Text(state.metrics.registry.render_prometheus()),
-            )
-        }
-        ("POST", ["jobs"]) => submit_job(body, state),
-        ("GET", ["jobs", id]) => with_job(state, id, job_status),
-        ("GET", ["jobs", id, "results"]) => with_job(state, id, job_results),
-        ("DELETE", ["jobs", id]) => with_job(state, id, cancel_job),
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
-            error_response(405, format!("method {method} not allowed on {path}"))
-        }
-        _ => error_response(404, format!("no route for {path}")),
     }
 }
 
-fn submit_job(body: Option<Result<Json, WireError>>, state: &Arc<NetState>) -> Response {
-    let parsed = match body {
-        Some(Ok(v)) => v,
-        Some(Err(e)) => return wire_error_response(&e),
-        None => return error_response(400, "POST /jobs requires a JSON body"),
-    };
-    let sub = match wire::submission_from_json(&parsed) {
-        Ok(s) => s,
-        Err(e) => return wire_error_response(&e),
-    };
-    // Path sources make *this* process read the named file; on an
-    // unauthenticated socket that is a filesystem probe. Refuse before
-    // any I/O happens unless the operator opted in.
-    if !state.cfg.allow_path_sources && sub.uses_path_sources() {
-        return error_response(
-            403,
-            "server-side 'path' sources are disabled on this server; \
-             ship the PDBQT text inline instead",
-        );
-    }
-    let receptor = match sub.load_receptor() {
-        Ok(r) => r,
-        Err(e) => return wire_error_response(&e),
-    };
-    let file_no = NEXT_FILE.fetch_add(1, Ordering::Relaxed);
-    let results = state.cfg.results_dir.join(format!("job-{file_no}.jsonl"));
-    let name = sub.campaign.name.clone();
-    let spec = JobSpec {
-        receptor,
-        ligands: sub.ligands,
-        slice: sub.slice,
-        priority: sub.priority,
-        jsonl: Some(results.clone()),
-        ..JobSpec::from(sub.campaign)
-    };
-    // try_submit, not submit: a full queue must become backpressure on
-    // the wire (503 + retry), never the event loop blocked on a
-    // condvar while every other connection starves.
-    match state.service.try_submit(spec) {
-        Ok(handle) => {
-            let id = handle.id();
-            let evicted = {
-                let mut jobs = state.jobs.lock().unwrap();
-                jobs.insert(
-                    id,
-                    NetJob {
-                        handle,
-                        name,
-                        results,
-                    },
-                );
-                evict_terminal_jobs(&mut jobs, state.cfg.max_retained_jobs)
-            };
-            for path in evicted {
-                std::fs::remove_file(path).ok();
-            }
-            json_response(
-                201,
-                &Json::Obj(vec![
-                    ("id".into(), Json::u64(id)),
-                    (
-                        "state".into(),
-                        Json::str(wire::state_name(JobState::Queued)),
-                    ),
-                    ("results".into(), Json::str(format!("/jobs/{id}/results"))),
-                ]),
-            )
+impl NodeRoutes {
+    fn submit_job(&self, body: Option<Result<Json, WireError>>) -> Response {
+        let parsed = match body {
+            Some(Ok(v)) => v,
+            Some(Err(e)) => return Response::wire_error(&e),
+            None => return Response::error(400, "POST /jobs requires a JSON body"),
+        };
+        let sub = match wire::submission_from_json(&parsed) {
+            Ok(s) => s,
+            Err(e) => return Response::wire_error(&e),
+        };
+        // Path sources make *this* process read the named file; on an
+        // unauthenticated socket that is a filesystem probe. Refuse before
+        // any I/O happens unless the operator opted in.
+        if !self.cfg.allow_path_sources && sub.uses_path_sources() {
+            return Response::error(
+                403,
+                "server-side 'path' sources are disabled on this server; \
+                 ship the PDBQT text inline instead",
+            );
         }
-        Err(e @ (SubmitError::Full | SubmitError::Shutdown)) => error_response(503, e.to_string()),
+        let receptor = match sub.load_receptor() {
+            Ok(r) => r,
+            Err(e) => return Response::wire_error(&e),
+        };
+        let file_no = NEXT_FILE.fetch_add(1, Ordering::Relaxed);
+        let results = self.cfg.results_dir.join(format!("job-{file_no}.jsonl"));
+        let name = sub.campaign.name.clone();
+        let spec = JobSpec {
+            receptor,
+            ligands: sub.ligands,
+            slice: sub.slice,
+            priority: sub.priority,
+            jsonl: Some(results.clone()),
+            ..JobSpec::from(sub.campaign)
+        };
+        // try_submit, not submit: a full queue must become backpressure on
+        // the wire (503 + retry), never the event loop blocked on a
+        // condvar while every other connection starves.
+        match self.service.try_submit(spec) {
+            Ok(handle) => {
+                let id = handle.id();
+                let evicted = {
+                    let mut jobs = self.jobs.lock().unwrap();
+                    jobs.insert(
+                        id,
+                        NetJob {
+                            handle,
+                            name,
+                            results,
+                        },
+                    );
+                    evict_terminal_jobs(&mut jobs, self.cfg.max_retained_jobs)
+                };
+                for path in evicted {
+                    std::fs::remove_file(path).ok();
+                }
+                Response::json(
+                    201,
+                    &Json::Obj(vec![
+                        ("id".into(), Json::u64(id)),
+                        (
+                            "state".into(),
+                            Json::str(wire::state_name(JobState::Queued)),
+                        ),
+                        ("results".into(), Json::str(format!("/jobs/{id}/results"))),
+                    ]),
+                )
+            }
+            Err(e @ (SubmitError::Full | SubmitError::Shutdown)) => {
+                Response::error(503, e.to_string())
+            }
+        }
+    }
+
+    /// Look a job up and run `f` on a clone of its tracking entry, or
+    /// 404. The clone means the global map lock is held only for the
+    /// lookup — never across `f` (which may open a large results file).
+    fn with_job(&self, id: &str, f: fn(&NetJob, JobId) -> Response) -> Response {
+        let Ok(id) = id.parse::<JobId>() else {
+            return Response::error(404, format!("job id '{id}' is not a number"));
+        };
+        let job = {
+            let jobs = self.jobs.lock().unwrap();
+            jobs.get(&id).map(|j| NetJob {
+                handle: j.handle.clone(),
+                name: j.name.clone(),
+                results: j.results.clone(),
+            })
+        };
+        match job {
+            Some(job) => f(&job, id),
+            None => Response::error(404, format!("no job {id}")),
+        }
     }
 }
 
@@ -1256,27 +1931,6 @@ fn evict_terminal_jobs(jobs: &mut HashMap<JobId, NetJob>, max_retained: usize) -
         .collect()
 }
 
-/// Look a job up and run `f` on a clone of its tracking entry, or 404.
-/// The clone means the global map lock is held only for the lookup —
-/// never across `f` (which may open a large results file).
-fn with_job(state: &Arc<NetState>, id: &str, f: fn(&NetJob, JobId) -> Response) -> Response {
-    let Ok(id) = id.parse::<JobId>() else {
-        return error_response(404, format!("job id '{id}' is not a number"));
-    };
-    let job = {
-        let jobs = state.jobs.lock().unwrap();
-        jobs.get(&id).map(|j| NetJob {
-            handle: j.handle.clone(),
-            name: j.name.clone(),
-            results: j.results.clone(),
-        })
-    };
-    match job {
-        Some(job) => f(&job, id),
-        None => error_response(404, format!("no job {id}")),
-    }
-}
-
 fn job_status(job: &NetJob, id: JobId) -> Response {
     let outcome = job.handle.try_outcome();
     let v = wire::status_to_json(
@@ -1288,7 +1942,7 @@ fn job_status(job: &NetJob, id: JobId) -> Response {
         &job.handle.stage_timings(),
         outcome.as_ref(),
     );
-    json_response(200, &v)
+    Response::json(200, &v)
 }
 
 fn job_results(job: &NetJob, _id: JobId) -> Response {
@@ -1300,13 +1954,17 @@ fn job_results(job: &NetJob, _id: JobId) -> Response {
     // overrun the declared Content-Length.
     match std::fs::File::open(&job.results) {
         Ok(file) => match file.metadata() {
-            Ok(meta) => (200, "application/x-ndjson", Body::File(file, meta.len())),
-            Err(e) => error_response(500, format!("results file: {e}")),
+            Ok(meta) => Response {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: Body::File(file, meta.len()),
+            },
+            Err(e) => Response::error(500, format!("results file: {e}")),
         },
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            (200, "application/x-ndjson", Body::Text(String::new()))
+            Response::text(200, "application/x-ndjson", String::new())
         }
-        Err(e) => error_response(500, format!("results file: {e}")),
+        Err(e) => Response::error(500, format!("results file: {e}")),
     }
 }
 
@@ -1321,7 +1979,7 @@ fn cancel_job(job: &NetJob, id: JobId) -> Response {
         &job.handle.stage_timings(),
         job.handle.try_outcome().as_ref(),
     );
-    json_response(202, &v)
+    Response::json(202, &v)
 }
 
 // ---------------------------------------------------------------------------
@@ -2191,6 +2849,130 @@ mod tests {
         let metrics_requests: u64 = requests_line.rsplit(' ').next().unwrap().parse().unwrap();
         assert_eq!(metrics_requests, stats_requests + 1);
         drop(c);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    /// Sum every `name{loop="i"}` sample and read the unlabelled
+    /// `name` total from a Prometheus render.
+    fn loop_sum_and_total(metrics: &str, name: &str) -> (i64, i64, usize) {
+        let mut sum = 0i64;
+        let mut loops_hit = 0usize;
+        let mut total = 0i64;
+        for line in metrics.lines() {
+            if let Some(rest) = line.strip_prefix(name) {
+                if let Some(value) = rest.strip_prefix(' ') {
+                    total = value.trim().parse::<f64>().unwrap() as i64;
+                } else if rest.starts_with("{loop=") {
+                    let value = rest.rsplit(' ').next().unwrap();
+                    let v = value.trim().parse::<f64>().unwrap() as i64;
+                    sum += v;
+                    loops_hit += usize::from(v > 0);
+                }
+            }
+        }
+        (sum, total, loops_hit)
+    }
+
+    /// The tentpole invariants: with four loops, connections spread
+    /// across them (REUSEPORT hashing on Linux, round-robin handoff
+    /// elsewhere), every connection still gets correct answers, and the
+    /// per-loop labelled series sum to the unlabelled totals.
+    #[test]
+    fn four_loops_spread_connections_and_aggregate_metrics() {
+        let service = tiny_service();
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                event_loops: 4,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        // Enough connections that all of them landing on one loop is
+        // (astronomically) improbable under REUSEPORT hashing, and
+        // impossible under round-robin.
+        let mut herd: Vec<client::Client> = (0..24).map(|_| client::Client::new(&addr)).collect();
+        for c in &mut herd {
+            assert!(c.healthy(), "connection unanswered under 4 loops");
+        }
+        let stats = server.connection_stats();
+        assert_eq!(stats.accepted, 24);
+        assert_eq!(stats.open, 24);
+        assert_eq!(stats.shed, 0);
+
+        let metrics = herd[0]
+            .request("GET", "/metrics", None)
+            .unwrap()
+            .ok()
+            .unwrap()
+            .body;
+        for name in [
+            "mudock_connections_accepted_total",
+            "mudock_connections_open",
+            "mudock_requests_total",
+        ] {
+            let (sum, total, loops_hit) = loop_sum_and_total(&metrics, name);
+            assert_eq!(sum, total, "per-loop {name} series do not sum to the total");
+            assert!(
+                loops_hit >= 2,
+                "{name}: all traffic landed on one loop ({loops_hit} loops hit)"
+            );
+        }
+        drop(herd);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    /// A response that can never flush (the route is fine; the *peer*
+    /// never reads and keeps the connection busy) is bounded by the
+    /// request-level deadline even though every per-phase deadline
+    /// keeps being met.
+    #[test]
+    fn request_deadline_reaps_a_wedged_request() {
+        let service = tiny_service();
+        let mut server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                request_timeout: Duration::from_millis(300),
+                // Per-phase clocks far beyond the request bound: only
+                // the end-to-end deadline can fire in this test.
+                idle_timeout: Duration::from_secs(3600),
+                header_timeout: Duration::from_secs(3600),
+                body_timeout: Duration::from_secs(3600),
+                write_timeout: Duration::from_secs(3600),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // A started-but-never-finished request: the header phase alone
+        // would allow it for an hour, the request deadline does not.
+        raw.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 64];
+        let t0 = Instant::now();
+        // EOF (Ok(0)) once the server reaps the connection.
+        loop {
+            match raw.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("expected server-side close, got {e}"),
+            }
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "closed before the request deadline: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "request deadline never fired: {elapsed:?}"
+        );
         server.shutdown();
         service.shutdown();
     }

@@ -3,8 +3,9 @@
 //! The workspace's no-deps discipline rules out `mio`/`tokio`, so this
 //! module speaks to the kernel directly: on Linux, `epoll(7)` through
 //! three `extern "C"` declarations against the libc that `std` already
-//! links; elsewhere on unix, a portable `poll(2)` fallback with the
-//! same API. Both are level-triggered — the event loop in
+//! links; on macOS and the BSDs, `kqueue(2)` through two more; and on
+//! any remaining unix, a portable `poll(2)` fallback with the same
+//! API. All three are level-triggered — the event loop in
 //! [`crate::net`] re-arms interest explicitly (read always, write only
 //! while a response is queued), which keeps the state machine simple
 //! and makes missed-wakeup bugs structurally impossible.
@@ -245,7 +246,250 @@ mod sys {
     }
 }
 
-#[cfg(all(unix, not(target_os = "linux")))]
+/// The operating systems whose selector is `kqueue(2)`.
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "openbsd",
+    target_os = "dragonfly",
+))]
+mod sys {
+    //! `kqueue(2)` via direct FFI: the mac/BSD arm of the portability
+    //! story, with the same O(ready) wakeup cost as epoll. Interest is
+    //! expressed as one kevent per readiness filter (`EVFILT_READ` /
+    //! `EVFILT_WRITE`), so `modify` diffs the previous interest set and
+    //! submits only the adds/deletes that changed; a small registration
+    //! map remembers what each fd currently watches.
+
+    use super::{timeout_ms, Event, Interest, Token};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::raw::{c_int, c_void};
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_ERROR: u16 = 0x4000;
+    const EV_EOF: u16 = 0x8000;
+
+    /// The kernel's `struct kevent`. FreeBSD ≥ 12 grew an `ext[4]`
+    /// tail; the Darwin/OpenBSD/Dragonfly layout has none. The leading
+    /// fields agree everywhere this module compiles: `uintptr_t ident`,
+    /// `int16_t filter`, `uint16_t flags`, `uint32_t fflags`,
+    /// 64-bit `data`, pointer `udata`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+        #[cfg(target_os = "freebsd")]
+        ext: [u64; 4],
+    }
+
+    impl KEvent {
+        fn change(fd: RawFd, filter: i16, flags: u16, token: Token) -> KEvent {
+            KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token.0 as *mut c_void,
+                #[cfg(target_os = "freebsd")]
+                ext: [0; 4],
+            }
+        }
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: isize,
+        tv_nsec: isize,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const KEvent,
+            nchanges: c_int,
+            eventlist: *mut KEvent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+    }
+
+    pub struct Selector {
+        kq: OwnedFd,
+        /// fd → currently-submitted interest, so `modify` knows which
+        /// filters to EV_DELETE (deleting a never-added filter is
+        /// ENOENT, which `kevent` reports as a hard error).
+        reg: HashMap<RawFd, (Token, Interest)>,
+        buf: Vec<KEvent>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let fd = unsafe { kqueue() };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector {
+                kq: unsafe { OwnedFd::from_raw_fd(fd) },
+                reg: HashMap::new(),
+                buf: vec![KEvent::change(0, 0, 0, Token(0)); 256],
+            })
+        }
+
+        /// Submit a changelist eagerly (no eventlist), so a bad change
+        /// surfaces here as an error instead of polluting a later wait.
+        fn submit(&self, changes: &[KEvent]) -> io::Result<()> {
+            if changes.is_empty() {
+                return Ok(());
+            }
+            let n = unsafe {
+                kevent(
+                    self.kq.as_raw_fd(),
+                    changes.as_ptr(),
+                    changes.len() as c_int,
+                    std::ptr::null_mut(),
+                    0,
+                    std::ptr::null(),
+                )
+            };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// The kevent changes taking `fd` from interest `have` to
+        /// `want` (either may be "nothing" — registration/removal).
+        fn diff(fd: RawFd, token: Token, have: Interest, want: Interest, out: &mut Vec<KEvent>) {
+            for (filter, had, wants) in [
+                (EVFILT_READ, have.readable, want.readable),
+                (EVFILT_WRITE, have.writable, want.writable),
+            ] {
+                match (had, wants) {
+                    (false, true) => out.push(KEvent::change(fd, filter, EV_ADD, token)),
+                    (true, false) => out.push(KEvent::change(fd, filter, EV_DELETE, token)),
+                    _ => {}
+                }
+            }
+        }
+
+        const NONE: Interest = Interest {
+            readable: false,
+            writable: false,
+        };
+
+        pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            if self.reg.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            let mut changes = Vec::new();
+            Self::diff(fd, token, Self::NONE, interest, &mut changes);
+            self.submit(&changes)?;
+            self.reg.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let &(_, have) = self
+                .reg
+                .get(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            let mut changes = Vec::new();
+            Self::diff(fd, token, have, interest, &mut changes);
+            // A re-ADD of an existing filter is how the token changes.
+            for (filter, wants) in [
+                (EVFILT_READ, interest.readable),
+                (EVFILT_WRITE, interest.writable),
+            ] {
+                if wants && !changes.iter().any(|c| c.filter == filter) {
+                    changes.push(KEvent::change(fd, filter, EV_ADD, token));
+                }
+            }
+            self.submit(&changes)?;
+            self.reg.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let (token, have) = self
+                .reg
+                .remove(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            let mut changes = Vec::new();
+            Self::diff(fd, token, have, Self::NONE, &mut changes);
+            self.submit(&changes)
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            // Millisecond resolution matches the epoll/poll arms (and
+            // keeps `timeout_ms`'s round-up-never-spin behavior).
+            let ms = timeout_ms(timeout);
+            let ts = Timespec {
+                tv_sec: (ms / 1000) as isize,
+                tv_nsec: ((ms % 1000) as isize) * 1_000_000,
+            };
+            let ts_ptr = if ms < 0 {
+                std::ptr::null()
+            } else {
+                &ts as *const Timespec
+            };
+            let n = unsafe {
+                kevent(
+                    self.kq.as_raw_fd(),
+                    std::ptr::null(),
+                    0,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                out.push(Event {
+                    token: Token(ev.udata as usize),
+                    readable: ev.filter == EVFILT_READ,
+                    writable: ev.filter == EVFILT_WRITE,
+                    hangup: ev.flags & (EV_ERROR | EV_EOF) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(all(
+    unix,
+    not(any(
+        target_os = "linux",
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly",
+    ))
+))]
 mod sys {
     //! Portable `poll(2)` fallback: O(registered) per wait, fine for
     //! development hosts; production deployments are Linux.
@@ -412,6 +656,60 @@ mod tests {
         r.wait(&mut events, Some(Duration::from_millis(50)))
             .unwrap();
         assert!(events.iter().all(|e| e.token != Token(9)));
+    }
+
+    /// Two reactors, each watching its own `SO_REUSEPORT` listener on
+    /// one port, must *both* see accepts: this is the property the
+    /// multi-loop frontend's per-loop listeners stand on.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_spread_accepts_across_reactors() {
+        use crate::net::reuseport::bind_reuseport;
+
+        let l1 = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l1.local_addr().unwrap();
+        let l2 = bind_reuseport(addr).unwrap();
+        let mut r1 = Reactor::new().unwrap();
+        let mut r2 = Reactor::new().unwrap();
+        r1.register(l1.as_raw_fd(), Token(1), Interest::READ)
+            .unwrap();
+        r2.register(l2.as_raw_fd(), Token(2), Interest::READ)
+            .unwrap();
+
+        // Enough connections that the kernel's flow hash landing all of
+        // them on one listener is (astronomically) improbable.
+        const CONNS: usize = 64;
+        let _clients: Vec<TcpStream> = (0..CONNS)
+            .map(|_| TcpStream::connect(addr).unwrap())
+            .collect();
+
+        let mut got = [0usize; 2];
+        let mut accepted = Vec::new();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got[0] + got[1] < CONNS && Instant::now() < deadline {
+            r1.wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            if events.iter().any(|e| e.token == Token(1) && e.readable) {
+                while let Ok((s, _)) = l1.accept() {
+                    accepted.push(s);
+                    got[0] += 1;
+                }
+            }
+            r2.wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            if events.iter().any(|e| e.token == Token(2) && e.readable) {
+                while let Ok((s, _)) = l2.accept() {
+                    accepted.push(s);
+                    got[1] += 1;
+                }
+            }
+        }
+        assert_eq!(got[0] + got[1], CONNS, "accepts lost: {got:?}");
+        assert!(
+            got[0] > 0 && got[1] > 0,
+            "kernel never spread accepts across the listeners: {got:?}"
+        );
     }
 
     #[test]

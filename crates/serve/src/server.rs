@@ -288,7 +288,12 @@ impl ScreenService {
     }
 
     /// The metric registry behind [`ScreenService::obs`] — everything
-    /// `/metrics` renders.
+    /// `/metrics` renders. The network frontend registers its
+    /// connection/request families here twice over: once unlabelled
+    /// (the totals every event loop writes) and once per loop as
+    /// `{loop="i"}` series, relying on the registry's get-or-insert
+    /// idempotency so both views share the same atomics where they
+    /// name the same instrument.
     pub fn registry(&self) -> Registry {
         self.obs.registry().clone()
     }
