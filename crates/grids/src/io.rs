@@ -148,6 +148,56 @@ pub fn load(path: &Path) -> Result<GridSet, GridIoError> {
     Ok(gs)
 }
 
+/// Validate a grid file without reading its data: magic, header sanity,
+/// and exact on-disk length. Returns the dimensions on success.
+///
+/// This is the cheap structural check a serve node runs over every file
+/// in its spill directory at startup (warm restart): a multi-megabyte
+/// map file costs one header read plus an `fstat`, so rescanning a full
+/// spill tier is O(files), not O(bytes). A file that passes `probe` can
+/// still fail [`load`] only through an I/O error, never through a
+/// format error — both functions apply the same validation.
+pub fn probe(path: &Path) -> Result<GridDims, GridIoError> {
+    let file = std::fs::File::open(path)?;
+    let total = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
+    let magic = read_exact::<8>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(GridIoError::BadMagic);
+    }
+    let mut npts = [0u32; 3];
+    for n in &mut npts {
+        *n = u32::from_le_bytes(read_exact::<4>(&mut r)?);
+    }
+    let spacing = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let ox = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let oy = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+    let oz = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+
+    if npts.iter().any(|&n| !(2..=4096).contains(&n)) {
+        return Err(GridIoError::BadHeader(format!("npts {npts:?}")));
+    }
+    if !(spacing.is_finite() && spacing > 0.0 && spacing < 100.0) {
+        return Err(GridIoError::BadHeader(format!("spacing {spacing}")));
+    }
+    if ![ox, oy, oz].iter().all(|c| c.is_finite()) {
+        return Err(GridIoError::BadHeader("non-finite origin".into()));
+    }
+
+    let dims = GridDims {
+        npts,
+        spacing,
+        origin: Vec3::new(ox, oy, oz),
+    };
+    let header = 8 + 12 + 4 + 12 + NUM_MAPS as u64;
+    let expected = dims.total() * NUM_MAPS * 4;
+    let got = total.saturating_sub(header) as usize;
+    if got != expected {
+        return Err(GridIoError::Truncated { expected, got });
+    }
+    Ok(dims)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +264,24 @@ mod tests {
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(load(&path), Err(GridIoError::BadHeader(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn probe_accepts_valid_and_rejects_damaged_files() {
+        let gs = sample();
+        let path = tmp("probe.grid");
+        save(&gs, &path).unwrap();
+        assert_eq!(probe(&path).unwrap(), gs.dims);
+
+        // Truncation is caught from the length alone — no data read.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(probe(&path), Err(GridIoError::Truncated { .. })));
+
+        // Foreign bytes are caught by the magic.
+        std::fs::write(&path, b"junkjunkjunkjunkjunkjunkjunkjunkjunk").unwrap();
+        assert!(matches!(probe(&path), Err(GridIoError::BadMagic)));
         let _ = std::fs::remove_file(path);
     }
 

@@ -109,7 +109,9 @@ pub mod sink;
 pub mod telemetry;
 pub mod wire;
 
-pub use cache::{CacheStats, GridCache, SpillConfig};
+pub use cache::policy::{CacheModel, CachePolicy, ModelConfig, ModelStats};
+pub use cache::trace::{read_trace, Trace, TraceEvent, TraceEventKind, TraceHeader};
+pub use cache::{CacheStats, GridCache, GridCacheBuilder, SpillConfig};
 pub use ingest::LigandSource;
 pub use job::{
     ChunkProgress, JobHandle, JobId, JobOutcome, JobSpec, JobState, LigandSlice, Priority,

@@ -21,6 +21,7 @@ use mudock_mol::Molecule;
 use mudock_obs::{now_ns, Counter, GridSource, Registry};
 use mudock_perf::PerfMonitor;
 
+use crate::cache::policy::CachePolicy;
 use crate::cache::{CacheStats, GridCache, SpillConfig};
 use crate::job::{
     ChunkProgress, JobHandle, JobOutcome, JobShared, JobSpec, JobState, RankedLigand,
@@ -50,8 +51,21 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Spill evicted grid sets to this bounded on-disk tier and reload
     /// them on the next miss instead of rebuilding. `None` (the
-    /// default) rebuilds after eviction, as before.
+    /// default) rebuilds after eviction, as before. The directory is
+    /// rescanned at start, so a restarted node comes up warm.
     pub spill: Option<SpillConfig>,
+    /// Replacement policy for the resident grid cache. The default
+    /// (segmented LRU) matches plain LRU on sequential workloads and
+    /// resists one-shot receptor scans flushing a hot target.
+    pub cache_policy: CachePolicy,
+    /// Reload the next queued job's spilled grids on a background
+    /// thread while the current job docks (router-hint prefetch).
+    /// Off by default; inert without a spill tier.
+    pub cache_prefetch: bool,
+    /// Record every grid-cache event (accesses, evictions, spills,
+    /// hints) to this JSONL `*.trace` file for offline policy replay
+    /// with `cache_replay`. `None` (the default) records nothing.
+    pub cache_trace: Option<std::path::PathBuf>,
     /// Write one JSONL line per closed job stage to this bounded trace
     /// file. `None` (the default) disables tracing; metrics still work.
     pub trace: Option<TraceConfig>,
@@ -66,6 +80,9 @@ impl Default for ServeConfig {
             cache_capacity: 4,
             shards: 0,
             spill: None,
+            cache_policy: CachePolicy::default(),
+            cache_prefetch: false,
+            cache_trace: None,
             trace: None,
         }
     }
@@ -162,8 +179,9 @@ impl ScreenService {
         Self::try_start(cfg).expect("spill directory must be creatable")
     }
 
-    /// Fallible [`ScreenService::start`]: the only runtime failure is
-    /// preparing the spill directory.
+    /// Fallible [`ScreenService::start`]: the only runtime failures are
+    /// preparing the spill directory (creating it, rescanning it for
+    /// warm-restart files) and creating the configured trace files.
     pub fn try_start(cfg: ServeConfig) -> std::io::Result<ScreenService> {
         let job_slots = cfg.job_slots.max(1);
         let router = Arc::new(ShardRouter::new(job_slots, cfg.shards));
@@ -171,14 +189,21 @@ impl ScreenService {
             cfg.queue_capacity,
             Arc::clone(&router),
         ));
-        let cache = Arc::new(match cfg.spill {
-            Some(spill) => GridCache::with_spill(cfg.cache_capacity, spill)?,
-            None => GridCache::new(cfg.cache_capacity),
-        });
         let monitor = Arc::new(PerfMonitor::new());
         let registry = Registry::new();
         let counters = Arc::new(Counters::register(&registry));
         let obs = Arc::new(ServeObs::new(registry, cfg.trace.as_ref())?);
+        let mut builder = GridCache::builder(cfg.cache_capacity)
+            .policy(cfg.cache_policy)
+            .prefetch(cfg.cache_prefetch)
+            .prefetch_counter(obs.grid_prefetch_counter());
+        if let Some(spill) = cfg.spill {
+            builder = builder.spill(spill);
+        }
+        if let Some(path) = cfg.cache_trace {
+            builder = builder.trace(path);
+        }
+        let cache = Arc::new(builder.build()?);
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::new();
         for _ in 0..job_slots {
@@ -197,8 +222,9 @@ impl ScreenService {
                     ctx.active.fetch_add(1, Ordering::SeqCst);
                     ctx.obs.job_dequeued(job.shared.id, &job.shared.trace);
                     let shared = Arc::clone(&job.shared);
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| run_job(job.spec, &job.shared, &ctx)));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_job(job.spec, &job.shared, job.hint, &ctx)
+                    }));
                     if outcome.is_err() {
                         // A panicking job must not wedge its waiters or
                         // kill the executor slot.
@@ -342,7 +368,12 @@ fn job_fingerprint(spec: &JobSpec, dims: GridDims) -> u64 {
     h.finish()
 }
 
-fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
+fn run_job(
+    spec: JobSpec,
+    shared: &JobShared,
+    hint: Option<(u64, mudock_grids::SimdLevel)>,
+    ctx: &ExecCtx,
+) {
     let t0 = Instant::now();
     let finish = |state: JobState,
                   error: Option<String>,
@@ -407,6 +438,12 @@ fn run_job(spec: JobSpec, shared: &JobShared, ctx: &ExecCtx) {
         now_ns().saturating_sub(grid_t0),
         grid_source,
     );
+    // This job's grids are in hand: now (and only now) tell the cache
+    // what the router expects to run next. Hinting any earlier could
+    // prefetch a key this very lookup was about to evict or reload.
+    if let Some((key, level)) = hint {
+        ctx.cache.hint(key, level);
+    }
     let cache_hit = grid_source == GridSource::Hit;
     let engine = match DockingEngine::new(&grids) {
         Ok(e) => e,

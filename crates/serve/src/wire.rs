@@ -1945,9 +1945,12 @@ pub fn stats_to_json(stats: &ServiceStats) -> Json {
                 ("evictions".into(), Json::u64(stats.cache.evictions)),
                 ("spills".into(), Json::u64(stats.cache.spills)),
                 ("reloads".into(), Json::u64(stats.cache.reloads)),
+                ("prefetches".into(), Json::u64(stats.cache.prefetches)),
+                ("quarantined".into(), Json::u64(stats.cache.quarantined)),
                 ("entries".into(), Json::usize(stats.cache.entries)),
                 ("spilled".into(), Json::usize(stats.cache.spilled)),
                 ("hit_rate".into(), Json::f64(stats.cache.hit_rate())),
+                ("policy".into(), Json::str(stats.cache.policy)),
             ]),
         ),
     ])

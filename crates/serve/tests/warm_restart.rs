@@ -1,0 +1,192 @@
+//! Warm-restart acceptance tests at the service level: a node killed
+//! and restarted on the same `--spill-dir` must serve its first job on
+//! a previously-cached receptor from the restored spill tier — zero
+//! grid rebuilds, rankings bit-identical to the pre-kill run — and,
+//! with prefetch enabled, reload the next queued receptor's grids
+//! before the demand lookup asks for them.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mudock_core::{Campaign, CampaignSpec, ChunkPolicy};
+use mudock_grids::GridDims;
+use mudock_mol::{Molecule, Vec3};
+use mudock_molio::synthetic_receptor;
+use mudock_serve::{
+    JobSpec, JobState, LigandSource, RankedLigand, ScreenService, ServeConfig, SpillConfig,
+};
+
+const SEED: u64 = 42;
+const N_LIGANDS: usize = 8;
+const TOP_K: usize = 3;
+
+fn receptor(seed: u64) -> Arc<Molecule> {
+    Arc::new(synthetic_receptor(seed, 100, 8.0))
+}
+
+fn campaign(name: &str) -> CampaignSpec {
+    Campaign::builder()
+        .name(name)
+        .population(8)
+        .generations(4)
+        .seed(SEED)
+        .search_radius(3.5)
+        .top_k(TOP_K)
+        .chunk(ChunkPolicy::Fixed(4))
+        .grid_dims(GridDims::centered(Vec3::ZERO, 8.0, 0.8))
+        .build()
+        .expect("the test campaign is valid")
+}
+
+fn spec(name: &str, receptor_seed: u64) -> JobSpec {
+    JobSpec {
+        receptor: receptor(receptor_seed),
+        ligands: LigandSource::synth(SEED, N_LIGANDS),
+        ..JobSpec::from(campaign(name))
+    }
+}
+
+fn config(spill_dir: &PathBuf) -> ServeConfig {
+    ServeConfig {
+        total_threads: 2,
+        job_slots: 1,
+        queue_capacity: 8,
+        cache_capacity: 1,
+        spill: Some(SpillConfig::new(spill_dir)),
+        ..ServeConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mudock-warm-restart-{}-{name}", std::process::id()))
+}
+
+fn assert_same_ranking(got: &[RankedLigand], want: &[RankedLigand]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        // Bit-exact score equality: the reloaded grids are the spilled
+        // bytes, so nothing may drift.
+        assert_eq!((g.index, &g.name, g.score), (w.index, &w.name, w.score));
+    }
+}
+
+/// The tentpole acceptance check: kill a node whose cache spilled a
+/// receptor's grids, restart it on the same spill directory, and the
+/// first job on that receptor runs with *zero* grid rebuilds (its one
+/// miss is a reload) and a ranking bit-identical to the pre-kill run.
+#[test]
+fn a_restarted_node_reuses_its_spill_dir_without_rebuilding() {
+    let dir = tmp("reuse");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // First life: receptor A builds, then receptor B evicts it into
+    // the spill tier.
+    let first = ScreenService::start(config(&dir));
+    let oa = first.submit(spec("a-1", 7)).unwrap().wait();
+    let ob = first.submit(spec("b-1", 8)).unwrap().wait();
+    assert_eq!(oa.state, JobState::Completed);
+    assert_eq!(ob.state, JobState::Completed);
+    let s1 = first.stats();
+    assert_eq!((s1.cache.misses, s1.cache.spills), (2, 1));
+    // No clean handover: drop the service as a crash stand-in (the
+    // spill tier is already durable — files land at eviction time).
+    first.shutdown();
+
+    // Second life, same directory: the rescan restores receptor A's
+    // grids and the job reloads them instead of rebuilding.
+    let second = ScreenService::start(config(&dir));
+    let oa2 = second.submit(spec("a-2", 7)).unwrap().wait();
+    assert_eq!(oa2.state, JobState::Completed);
+    let s2 = second.stats();
+    assert_eq!(s2.cache.quarantined, 0);
+    assert_eq!(
+        (s2.cache.misses, s2.cache.reloads),
+        (1, 1),
+        "the only miss must be served from the restored spill tier — zero rebuilds"
+    );
+    assert_same_ranking(&oa2.top, &oa.top);
+    second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With `cache_prefetch` on, a warm-restarted node acts on the
+/// router's next-job hint: while one job docks, the next queued
+/// receptor's spilled grids are reloaded in the background, and the
+/// prefetch counter proves it happened ahead of demand.
+#[test]
+fn prefetch_reloads_the_next_queued_receptors_grids() {
+    let dir = tmp("prefetch");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Seed the spill tier with both receptors: A builds, B evicts it
+    // (spilling A), A reloads and evicts B (spilling B).
+    let first = ScreenService::start(config(&dir));
+    let oa = first.submit(spec("a-1", 7)).unwrap().wait();
+    first.submit(spec("b-1", 8)).unwrap().wait();
+    let oa_again = first.submit(spec("a-2", 7)).unwrap().wait();
+    assert_same_ranking(&oa_again.top, &oa.top);
+    let s1 = first.stats();
+    assert_eq!((s1.cache.spills, s1.cache.reloads), (2, 1));
+    first.shutdown();
+
+    // Restart with prefetch. A blocker job on receptor A parks in its
+    // progress callback so B and A can queue up behind it; when B is
+    // popped the router's hint names A, and B's worker prefetches A's
+    // grids while B is still docking.
+    let second = ScreenService::start(ServeConfig {
+        cache_prefetch: true,
+        ..config(&dir)
+    });
+    let release = Arc::new(AtomicBool::new(false));
+    let gate = {
+        let release = Arc::clone(&release);
+        Arc::new(move |_: &mudock_serve::ChunkProgress<'_>| {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    let mut blocker = spec("blocker", 7);
+    blocker.progress = Some(gate);
+    let blocker_handle = second.submit(blocker).unwrap();
+    while blocker_handle.chunks_done() < 1 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let b_handle = second.submit(spec("b-2", 8)).unwrap();
+    let a_handle = second.submit(spec("a-3", 7)).unwrap();
+    release.store(true, Ordering::SeqCst);
+
+    assert_eq!(blocker_handle.wait().state, JobState::Completed);
+    assert_eq!(b_handle.wait().state, JobState::Completed);
+    let oa3 = a_handle.wait();
+    assert_eq!(oa3.state, JobState::Completed);
+    assert_same_ranking(&oa3.top, &oa.top);
+
+    // The prefetch runs on a background thread; give the counter a
+    // moment after the jobs drain.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let s2 = second.stats();
+        if s2.cache.prefetches >= 1 {
+            // Everything this life served came from disk or the
+            // prefetcher — the warm tier means never rebuilding.
+            // (Prefetch reloads are not demand misses, so demand
+            // reloads are `reloads - prefetches`.)
+            assert_eq!(
+                s2.cache.misses,
+                s2.cache.reloads - s2.cache.prefetches,
+                "zero rebuilds"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no prefetch recorded: {:?}",
+            s2.cache
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
